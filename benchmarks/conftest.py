@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper, times the
+reproduction pipeline with pytest-benchmark, prints the rendered table,
+and archives it under ``benchmarks/results/`` (EXPERIMENTS.md is written
+from those archives).
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a rendered ExperimentTable and archive it to results/."""
+
+    def _emit(table, name):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = table.render()
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+    return _emit

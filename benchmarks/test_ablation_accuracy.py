@@ -1,0 +1,58 @@
+"""Ablation: end-to-end inference accuracy vs BFP mantissa width.
+
+Section VI claims mantissas trim to 2-5 bits "with negligible impact on
+accuracy". We cannot fine-tune production models, but we can measure
+end-to-end *decision agreement* with the float32 reference on a
+classification model executed through the full NPU numerics path
+(BFP matmuls, float16 point-wise pipeline): the text CNN's predicted
+class across random inputs, per mantissa width.
+"""
+
+import numpy as np
+
+from repro.compiler import compile_text_cnn
+from repro.config import NpuConfig
+from repro.harness.tables import ExperimentTable
+from repro.models.textcnn import TextCnnReference
+
+
+def _agreement(mantissa_bits: int, trials: int = 24) -> float:
+    model = TextCnnReference(vocab_size=120, embed_dim=16,
+                             filter_width=3, num_filters=32,
+                             num_classes=6, seed=17)
+    cfg = NpuConfig(name=f"m{mantissa_bits}", tile_engines=2, lanes=8,
+                    native_dim=16, mrf_size=256,
+                    mantissa_bits=mantissa_bits)
+    compiled = compile_text_cnn(model, cfg)
+    rng = np.random.default_rng(23)
+    hits = 0
+    for _ in range(trials):
+        tokens = rng.integers(0, 120, int(rng.integers(6, 20)))
+        hits += compiled.predict(tokens) == model.predict(tokens)
+    return hits / trials
+
+
+def test_accuracy_ablation(benchmark, emit):
+    def sweep():
+        rows = []
+        for m in (2, 3, 4, 5):
+            rows.append([f"1s.5e.{m}m", f"{100 * _agreement(m):.0f}%"])
+        return ExperimentTable(
+            "Ablation: prediction agreement with float32 vs BFP "
+            "mantissa width (text CNN, full NPU numerics)",
+            ["Format", "agreement"],
+            rows,
+            notes=["Decision agreement on random inputs; the paper "
+                   "reports 1-2% accuracy loss at 2-5 mantissa bits "
+                   "after brief fine-tuning, which we cannot perform — "
+                   "agreement without any fine-tuning is the harsher "
+                   "test."])
+
+    table = benchmark(sweep)
+    emit(table, "ablation_accuracy")
+
+    rates = [float(r[1].rstrip("%")) for r in table.rows]
+    # 5-bit mantissas preserve essentially every decision; agreement
+    # never degrades as precision grows.
+    assert rates[-1] >= 95.0
+    assert all(b >= a - 5 for a, b in zip(rates, rates[1:]))

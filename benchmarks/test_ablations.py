@@ -1,0 +1,137 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not paper tables — these sweep the synthesis parameters (Section VI) and
+the scheduler features to quantify each mechanism's contribution:
+
+* native-dimension sweep: padding waste vs control overhead;
+* tile/lane scaling: MVM-bound throughput;
+* chain-replay scheduler: the Section VII-B3 batch-interleaving
+  future-work estimate;
+* BFP mantissa width: quantization SNR per bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.lowering import compile_rnn_shape
+from repro.config import BW_S10
+from repro.harness.tables import ExperimentTable
+from repro.numerics import BfpFormat, quantization_stats
+from repro.timing import TimingSimulator
+from repro.timing.scheduler import steady_state_cycles_per_step
+
+
+def _per_step(config, kind="gru", hidden=1536, **sim_kwargs):
+    compiled = compile_rnn_shape(kind, hidden, config)
+    sim_a = TimingSimulator(config, **sim_kwargs)
+    a = sim_a.run(compiled.program, bindings={"steps": 6},
+                  include_invocation_overhead=False).total_cycles
+    sim_b = TimingSimulator(config, **sim_kwargs)
+    b = sim_b.run(compiled.program, bindings={"steps": 16},
+                  include_invocation_overhead=False).total_cycles
+    return (b - a) / 10
+
+
+def test_native_dim_ablation(benchmark, emit):
+    """Section VI: too-large native vectors waste padding; too-small
+    ones raise control overhead. Sweep N for a 1536-dim GRU."""
+
+    def sweep():
+        rows = []
+        for native, lanes in ((128, 16), (256, 32), (384, 32),
+                              (400, 40), (512, 32)):
+            tiles = max(1, 96000 // (native * lanes))
+            cfg = BW_S10.replace(name=f"n{native}", native_dim=native,
+                                 lanes=lanes, tile_engines=tiles,
+                                 mrf_size=max(306, 48_000_000
+                                              // native ** 2))
+            per = _per_step(cfg)
+            pad = (1536 / (np.ceil(1536 / native) * native)) ** 2
+            rows.append([str(native), str(tiles), str(lanes),
+                         f"{per:.0f}", f"{100 * pad:.0f}%"])
+        return ExperimentTable(
+            "Ablation: native dimension sweep (GRU-1536)",
+            ["Native dim", "Tiles", "Lanes", "cycles/step",
+             "padding eff."], rows)
+
+    table = benchmark(sweep)
+    emit(table, "ablation_native_dim")
+    per_steps = [float(r[3]) for r in table.rows]
+    # N=384 divides 1536 exactly: it should be at least as good as 512.
+    n384 = float(table.rows[2][3])
+    n512 = float(table.rows[4][3])
+    assert n384 <= n512 * 1.10
+
+
+def test_replay_scheduler_ablation(benchmark, emit):
+    """The configuration-caching scheduler (CNN variant) applied to
+    RNNs — the paper's Section VII-B3 interleaving headroom."""
+
+    def sweep():
+        rows = []
+        for hidden in (512, 1024, 1536, 2816):
+            plain = _per_step(BW_S10, hidden=hidden)
+            replay = _per_step(BW_S10, hidden=hidden, replay_loops=True)
+            rows.append([f"GRU {hidden}", f"{plain:.0f}",
+                         f"{replay:.0f}", f"{plain / replay:.2f}x"])
+        return ExperimentTable(
+            "Ablation: chain-replay scheduler on RNN steps",
+            ["Model", "cycles/step", "with replay", "speedup"], rows)
+
+    table = benchmark(sweep)
+    emit(table, "ablation_replay")
+    # Small models (setup-bound) gain the most; large (MVM-bound) gain
+    # the least.
+    speedups = [float(r[3].rstrip("x")) for r in table.rows]
+    assert speedups[0] > speedups[-1]
+    assert speedups[0] > 2.0
+
+
+def test_mvm_scaling_ablation(benchmark, emit):
+    """Tile-engine scaling: large-model throughput is MVM-bound, so
+    doubling engines nearly halves steady-state cycles until the
+    setup floor takes over."""
+
+    def sweep():
+        rows = []
+        for tiles in (3, 6, 12, 24):
+            cfg = BW_S10.replace(name=f"t{tiles}", tile_engines=tiles)
+            per = _per_step(cfg, hidden=2816)
+            rows.append([str(tiles), f"{2 * cfg.total_macs * 250e6 / 1e12:.0f}",
+                         f"{per:.0f}"])
+        return ExperimentTable(
+            "Ablation: tile-engine scaling (GRU-2816)",
+            ["Tile engines", "Peak TFLOPS", "cycles/step"], rows)
+
+    table = benchmark(sweep)
+    emit(table, "ablation_mvm_scaling")
+    cycles = [float(r[2]) for r in table.rows]
+    assert cycles[0] > cycles[1] > cycles[2]
+    # Diminishing returns at the setup floor.
+    assert cycles[2] / cycles[3] < cycles[0] / cycles[1]
+
+
+def test_mantissa_snr_ablation(benchmark, emit):
+    """BFP quantization SNR per mantissa bit (Section VI: 2-5 bits)."""
+
+    def sweep():
+        rng = np.random.default_rng(7)
+        weights = rng.normal(0, 0.5, 1 << 16)
+        rows = []
+        for m in (2, 3, 4, 5, 6):
+            fmt = BfpFormat(mantissa_bits=m, block_size=128)
+            stats = quantization_stats(weights, fmt)
+            rows.append([fmt.name, f"{stats.snr_db:.1f}",
+                         f"{stats.rel_rms_error:.4f}",
+                         f"{fmt.bits_per_element:.2f}"])
+        return ExperimentTable(
+            "Ablation: BFP mantissa width vs quantization SNR",
+            ["Format", "SNR dB", "rel RMS err", "bits/element"], rows)
+
+    table = benchmark(sweep)
+    emit(table, "ablation_mantissa")
+    snrs = [float(r[1]) for r in table.rows]
+    assert snrs == sorted(snrs)
+    # ~6 dB per extra bit.
+    steps = [b - a for a, b in zip(snrs, snrs[1:])]
+    assert all(4.0 < s < 8.0 for s in steps)

@@ -1,0 +1,21 @@
+"""Fig. 2: LSTM critical-path scaling with dimension N and #FU."""
+
+from repro.criticalpath import analytic
+from repro.harness import fig2
+
+
+def test_fig2(benchmark, emit):
+    table = benchmark(fig2)
+    emit(table, "fig2_lstm_critical_path")
+
+    # O(N^2) operation growth, O(log N) idealized latency.
+    assert analytic.lstm_ops_per_step(4096) \
+        > 15 * analytic.lstm_ops_per_step(1024)
+    assert analytic.lstm_udm_cycles_per_step(4096) \
+        - analytic.lstm_udm_cycles_per_step(1024) == 2
+    # SDM transitions from depth-bound (small N) to work-bound (large N).
+    small_gap = (analytic.lstm_sdm_cycles_per_step(256, 96000)
+                 - analytic.lstm_udm_cycles_per_step(256))
+    large_gap = (analytic.lstm_sdm_cycles_per_step(4096, 96000)
+                 - analytic.lstm_udm_cycles_per_step(4096))
+    assert small_gap < 10 < large_gap

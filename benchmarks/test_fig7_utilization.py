@@ -1,0 +1,32 @@
+"""Fig. 7: hardware utilization across DeepBench RNN experiments."""
+
+from repro.baselines.deepbench import SUITE, published_row
+from repro.harness import bw_rnn_report, fig7
+from repro.harness.experiments import gpu_rnn_result
+
+
+def test_fig7(benchmark, emit):
+    table = benchmark(fig7)
+    emit(table, "fig7_utilization")
+
+
+def test_utilization_trend_matches_paper():
+    """Utilization rises with hidden dimension for BW and stays in the
+    published band for every benchmark (within 5.5 points)."""
+    for bench in SUITE:
+        pub = published_row(bench)
+        got = 100 * bw_rnn_report(bench).utilization
+        assert abs(got - pub.bw_utilization_pct) < 5.5, bench.name
+
+
+def test_bw_utilization_monotone_in_dimension():
+    grus = sorted((b for b in SUITE
+                   if b.kind == "gru" and b.time_steps > 1),
+                  key=lambda b: b.hidden_dim)
+    utils = [bw_rnn_report(b).utilization for b in grus]
+    assert utils == sorted(utils)
+
+
+def test_gpu_stuck_below_4pct():
+    for bench in SUITE:
+        assert gpu_rnn_result(bench).utilization < 0.04, bench.name

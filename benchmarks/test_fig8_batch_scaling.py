@@ -1,0 +1,42 @@
+"""Fig. 8: utilization scaling with batch size (1, 2, 4, 32)."""
+
+from repro.baselines import TITAN_XP, GpuRnnModel
+from repro.baselines.deepbench import BATCH_SCALING_SUBSET
+from repro.harness import fig8
+
+
+def test_fig8(benchmark, emit):
+    table = benchmark(fig8)
+    emit(table, "fig8_batch_scaling")
+
+
+def test_bw_utilization_flat_across_batches(emit):
+    table = fig8(batches=(1, 2, 4, 32))
+    by_bench = {}
+    for row in table.rows:
+        by_bench.setdefault(row[0], []).append(float(row[2]))
+    for bench, utils in by_bench.items():
+        assert max(utils) - min(utils) < 0.5, bench
+
+
+def test_gpu_utilization_roughly_linear_until_roof():
+    model = GpuRnnModel(TITAN_XP)
+    bench = BATCH_SCALING_SUBSET[0]
+    utils = {
+        b: model.run(bench.weight_bytes(4.0), bench.ops_per_step,
+                     bench.time_steps, batch=b).utilization
+        for b in (1, 2, 4)
+    }
+    # Weight traffic is shared: doubling batch ~doubles utilization.
+    assert 1.7 < utils[2] / utils[1] < 2.1
+    assert 1.7 < utils[4] / utils[2] < 2.1
+
+
+def test_gpu_under_13pct_at_batch_4():
+    """'At batch size of 4, the Titan Xp remains at under 13%
+    utilization even for large RNNs.'"""
+    model = GpuRnnModel(TITAN_XP)
+    for bench in BATCH_SCALING_SUBSET:
+        util = model.run(bench.weight_bytes(4.0), bench.ops_per_step,
+                         bench.time_steps, batch=4).utilization
+        assert util < 0.13, bench.name

@@ -1,0 +1,16 @@
+"""Section VII-B4: power efficiency (287 GFLOPS/W on large models)."""
+
+import pytest
+
+from repro.harness import power_efficiency
+
+
+def test_power_efficiency(benchmark, emit):
+    table = benchmark(power_efficiency)
+    emit(table, "power_efficiency")
+
+    bw_row = table.rows[0]
+    assert float(bw_row[3]) == pytest.approx(287, rel=0.1)
+    gpu_row = table.rows[1]
+    # Watt-for-watt advantage of two orders of magnitude on RNNs.
+    assert float(bw_row[3]) > 50 * float(gpu_row[3])

@@ -1,0 +1,39 @@
+"""Section VII-B2: latency gap between BW_S10 and the idealized SDM."""
+
+from repro.baselines.deepbench import SUITE
+from repro.harness import bw_rnn_report, sdm_gap, sdm_latency_ms
+
+
+def test_sdm_gap(benchmark, emit):
+    table = benchmark(sdm_gap)
+    emit(table, "sdm_gap")
+
+
+def test_gap_within_2_2x_above_2000_dims():
+    """'The BW_S10 is within a factor of 2.17X [of the SDM] for the
+    large GRUs and LSTMs (dimension > 2000).'"""
+    for bench in SUITE:
+        if bench.hidden_dim <= 2000 or bench.time_steps < 2:
+            continue
+        gap = bw_rnn_report(bench).latency_ms / sdm_latency_ms(bench)
+        assert gap <= 2.4, bench.name
+
+
+def test_gap_falls_off_for_small_models():
+    """'This factor falls off for the remaining models' — small layers
+    sit far from the SDM because per-step latency is flat."""
+    gaps = {}
+    for bench in SUITE:
+        if bench.time_steps < 2:
+            continue
+        gaps[bench.hidden_dim] = (bw_rnn_report(bench).latency_ms
+                                  / sdm_latency_ms(bench))
+    assert gaps[256] > 5 * gaps[2816]
+
+
+def test_per_step_latency_flat_band():
+    """Steady-state per-step latency in a narrow band regardless of
+    model size (Section VII-B2)."""
+    per_step = [bw_rnn_report(b).latency_ms * 1e3 / b.time_steps
+                for b in SUITE if b.time_steps > 10]
+    assert max(per_step) / min(per_step) < 1.45

@@ -1,0 +1,35 @@
+"""System-level extension experiments: specialization recovery
+(Section VII-B1) and the microservice serving breakdown (Section II-A).
+"""
+
+from repro.harness.experiments import (
+    serving_breakdown,
+    specialization_recovery,
+)
+
+
+def test_specialization_recovery(benchmark, emit):
+    table = benchmark(specialization_recovery)
+    emit(table, "specialization_recovery")
+
+    # Per model, the specialized instance recovers utilization by an
+    # order of magnitude at equal-or-better per-step latency.
+    rows = table.rows
+    for big, lean in zip(rows[::2], rows[1::2]):
+        assert big[0] == lean[0]
+        assert float(lean[6]) > 5 * float(big[6])       # %util
+        assert float(lean[4]) <= float(big[4]) * 1.05   # us/step
+
+
+def test_serving_breakdown(benchmark, emit):
+    table = benchmark(serving_breakdown)
+    emit(table, "serving_breakdown")
+
+    # Large-model serving is compute-dominated even across the
+    # datacenter fabric ("no software in the loop").
+    by_key = {(r[0], r[1]): float(r[5]) for r in table.rows}
+    assert by_key[("GRU h=2816 t=750", "same_rack")] < 1.0
+    assert by_key[("GRU h=2816 t=750", "same_datacenter")] < 5.0
+    # Tiny single-step requests feel the network the most.
+    assert by_key[("GRU h=512 t=1", "same_datacenter")] > \
+        by_key[("GRU h=2816 t=750", "same_datacenter")]

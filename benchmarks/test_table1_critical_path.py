@@ -1,0 +1,25 @@
+"""Table I: critical-path analysis of LSTM, GRU, and CNN workloads.
+
+Regenerates the UDM/SDM/BW-cycle comparison for the four Table I
+workloads and checks the reproduced values against the published ones.
+"""
+
+import pytest
+
+from repro.harness import table1
+
+
+def test_table1(benchmark, emit):
+    table = benchmark(table1)
+    emit(table, "table1_critical_path")
+
+    # Shape assertions against the published numbers.
+    values = {row[0]: row for row in table.rows}
+    lstm = values["LSTM 2000x2000"]
+    assert int(lstm[2]) == 19                       # UDM exact
+    assert int(lstm[3]) == 352                      # SDM exact
+    assert abs(int(lstm[4]) - 718) / 718 < 0.05     # BW within 5%
+    gru = values["GRU 2800x2800"]
+    assert abs(int(gru[3]) - 520) / 520 < 0.02
+    cnn1 = values["CNN 28x28x128 K:128x3x3"]
+    assert abs(int(cnn1[4]) - 1326) / 1326 < 0.06

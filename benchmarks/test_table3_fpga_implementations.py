@@ -1,0 +1,23 @@
+"""Table III: hardware implementation results across three FPGAs."""
+
+import pytest
+
+from repro.config import BW_A10, BW_S5, BW_S10
+from repro.harness import table3
+from repro.harness.experiments import TABLE3_PUBLISHED
+from repro.synthesis.resources import estimate
+
+
+def test_table3(benchmark, emit):
+    table = benchmark(table3)
+    emit(table, "table3_fpga_implementations")
+
+    for config in (BW_S5, BW_A10, BW_S10):
+        est = estimate(config)
+        alms, m20ks, dsps, mhz, tflops = TABLE3_PUBLISHED[config.name]
+        assert est.alms == pytest.approx(alms, rel=0.01)
+        assert est.m20ks == pytest.approx(m20ks, rel=0.01)
+        assert est.dsps == pytest.approx(dsps, rel=0.01)
+        assert config.clock_mhz == mhz
+        assert config.peak_tflops == pytest.approx(tflops, rel=0.02)
+        assert est.fits

@@ -1,0 +1,15 @@
+"""Table IV: experiment hardware specifications (Titan Xp vs BW_S10)."""
+
+from repro.baselines import TITAN_XP
+from repro.config import BW_S10
+from repro.harness import table4
+
+
+def test_table4(benchmark, emit):
+    table = benchmark(table4)
+    emit(table, "table4_hw_specs")
+
+    assert TITAN_XP.peak_tflops == 12.1
+    assert TITAN_XP.numerical_type == "Float32"
+    assert BW_S10.precision_name == "BFP (1s.5e.2m)"
+    assert round(BW_S10.peak_tflops, 1) == 48.0

@@ -1,0 +1,47 @@
+"""Table V: DeepBench RNN inference at batch 1 — the paper's headline
+result. Regenerates every row (SDM / BW_S10 / Titan Xp) and checks the
+reproduction against the published measurements."""
+
+import pytest
+
+from repro.baselines.deepbench import SUITE, published_row
+from repro.harness import bw_rnn_report, sdm_latency_ms, table5
+from repro.harness.experiments import gpu_rnn_result
+
+
+def test_table5(benchmark, emit):
+    table = benchmark(table5)
+    emit(table, "table5_deepbench_rnn")
+
+
+@pytest.mark.parametrize("bench", SUITE, ids=lambda b: b.name)
+def test_bw_latency_within_15pct_of_paper(bench):
+    pub = published_row(bench)
+    report = bw_rnn_report(bench)
+    assert report.latency_ms == pytest.approx(pub.bw_latency_ms,
+                                              rel=0.15)
+
+
+@pytest.mark.parametrize("bench", SUITE, ids=lambda b: b.name)
+def test_sdm_latency_within_3pct_of_paper(bench):
+    pub = published_row(bench)
+    # The paper rounds small entries to two significant figures, so a
+    # small absolute tolerance accompanies the 3% relative one.
+    assert sdm_latency_ms(bench) == pytest.approx(pub.sdm_latency_ms,
+                                                  rel=0.03, abs=6e-4)
+
+
+@pytest.mark.parametrize("bench",
+                         [b for b in SUITE if b.hidden_dim >= 1024],
+                         ids=lambda b: b.name)
+def test_gpu_baseline_tracks_published(bench):
+    pub = published_row(bench)
+    res = gpu_rnn_result(bench)
+    assert res.latency_ms == pytest.approx(pub.gpu_latency_ms, rel=0.35)
+
+
+def test_headline_35_9_tflops():
+    """'Reaching up to 35.9 effective TFLOPS for a large GRU.'"""
+    big = next(b for b in SUITE if b.hidden_dim == 2816)
+    report = bw_rnn_report(big)
+    assert report.effective_tflops == pytest.approx(35.9, rel=0.06)

@@ -1,0 +1,41 @@
+"""Table VI: ResNet-50 featurizer serving, BW_CNN_A10 vs Nvidia P40."""
+
+import pytest
+
+from repro.baselines import P40, GpuCnnModel
+from repro.config import BW_CNN_A10
+from repro.harness import table6
+from repro.models.resnet import resnet50_featurizer, total_ops
+from repro.timing.cnn import network_timing
+
+
+def test_table6(benchmark, emit):
+    table = benchmark(table6)
+    emit(table, "table6_resnet50")
+
+
+def test_bw_wins_batch1_loses_throughput_at_batch16():
+    """The paper's crossover: BW leads at batch 1 (559 vs 461 IPS);
+    the P40 wins aggregate throughput at batch 16 at the cost of 7 ms
+    latency."""
+    ops = total_ops(resnet50_featurizer())
+    bw = network_timing(BW_CNN_A10)
+    p40 = GpuCnnModel(P40)
+    gpu1 = p40.run(ops, batch=1)
+    gpu16 = p40.run(ops, batch=16)
+    assert bw.ips > gpu1.ips
+    assert gpu16.ips > 3 * bw.ips
+    assert gpu16.latency_ms > 2.5 * gpu1.latency_ms
+
+
+def test_bw_anchors_within_8pct():
+    bw = network_timing(BW_CNN_A10)
+    assert bw.ips == pytest.approx(559, rel=0.08)
+    assert bw.latency_ms == pytest.approx(1.8, rel=0.08)
+
+
+def test_gpu_anchors_within_25pct():
+    ops = total_ops(resnet50_featurizer())
+    p40 = GpuCnnModel(P40)
+    assert p40.run(ops, batch=1).ips == pytest.approx(461, rel=0.25)
+    assert p40.run(ops, batch=16).ips == pytest.approx(2270, rel=0.15)

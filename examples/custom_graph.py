@@ -1,0 +1,80 @@
+"""Compiling a custom operator graph with the generic toolflow.
+
+The hand-tuned lowerings cover the standard model classes; arbitrary
+graphs go through the GIR compiler (`repro.compiler.girlower.lower_gir`):
+build a graph, attach constant values, compile, run. This example builds
+a small two-tower ranking scorer — two feature vectors pass through
+separate dense towers, interact via a Hadamard product, and a classifier
+head produces a relevance score — the kind of ad/search sub-graph the
+paper's production pipelines accelerate.
+
+Run:  python examples/custom_graph.py
+"""
+
+import numpy as np
+
+from repro.compiler.gir import GirGraph
+from repro.compiler.girlower import lower_gir
+from repro.config import NpuConfig
+
+
+def build_graph(rng):
+    dim, hidden = 24, 32
+    g = GirGraph("two_tower")
+    g.add("query", "input", shape=(dim,))
+    g.add("doc", "input", shape=(dim,))
+    weights = {}
+    for tower in ("q", "d"):
+        weights[f"W_{tower}"] = rng.uniform(
+            -0.3, 0.3, (hidden, dim)).astype(np.float32)
+        weights[f"b_{tower}"] = rng.uniform(
+            -0.3, 0.3, hidden).astype(np.float32)
+        g.add(f"W_{tower}", "constant", shape=(hidden, dim),
+              value=weights[f"W_{tower}"])
+        g.add(f"b_{tower}", "constant", shape=(hidden,),
+              value=weights[f"b_{tower}"])
+    g.add("q_mm", "matmul", ["W_q", "query"], shape=(hidden,))
+    g.add("q_pre", "add", ["q_mm", "b_q"], shape=(hidden,))
+    g.add("q_act", "tanh", ["q_pre"], shape=(hidden,))
+    g.add("d_mm", "matmul", ["W_d", "doc"], shape=(hidden,))
+    g.add("d_pre", "add", ["d_mm", "b_d"], shape=(hidden,))
+    g.add("d_act", "tanh", ["d_pre"], shape=(hidden,))
+    g.add("interact", "mul", ["q_act", "d_act"], shape=(hidden,))
+    weights["W_out"] = rng.uniform(
+        -0.3, 0.3, (1, hidden)).astype(np.float32)
+    g.add("W_out", "constant", shape=(1, hidden), value=weights["W_out"])
+    g.add("score_mm", "matmul", ["W_out", "interact"], shape=(1,))
+    g.add("score", "sigmoid", ["score_mm"], shape=(1,))
+    g.add("y", "output", ["score"], shape=(1,))
+    g.validate()
+    return g, weights
+
+
+def reference(weights, query, doc):
+    q = np.tanh(weights["W_q"] @ query + weights["b_q"])
+    d = np.tanh(weights["W_d"] @ doc + weights["b_d"])
+    z = weights["W_out"] @ (q * d)
+    return 1.0 / (1.0 + np.exp(-z))
+
+
+def main():
+    rng = np.random.default_rng(5)
+    graph, weights = build_graph(rng)
+    cfg = NpuConfig(name="rank", tile_engines=2, lanes=8, native_dim=32,
+                    mrf_size=64, mantissa_bits=0)
+    compiled = lower_gir(graph, cfg)
+    print(f"graph: {len(graph)} GIR nodes -> "
+          f"{compiled.program.static_chain_count()} NPU chains, "
+          f"{compiled.allocator.mrf_elements_used} weights pinned\n")
+
+    for i in range(4):
+        query = rng.uniform(-1, 1, 24).astype(np.float32)
+        doc = rng.uniform(-1, 1, 24).astype(np.float32)
+        score = compiled.run_graph([query, doc], exact=True)[0][0]
+        want = float(reference(weights, query, doc)[0])
+        print(f"  pair {i}: NPU score {score:.5f}, reference "
+              f"{want:.5f}, |err| {abs(score - want):.2e}")
+
+
+if __name__ == "__main__":
+    main()

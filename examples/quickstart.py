@@ -1,0 +1,67 @@
+"""Quickstart: compile an LSTM onto a BW NPU and serve a request.
+
+Demonstrates the core flow of the library:
+
+1. build a reference model (weights in numpy),
+2. lower it onto an NPU configuration (the toolflow of Section II-B),
+3. execute it on the architecturally exact functional simulator and
+   compare against the numpy reference,
+4. estimate serving latency with the calibrated timing model,
+5. peek at the generated NPU program (the Section IV-C listing).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import BW_S10, LstmReference, TimingSimulator, compile_lstm
+from repro.isa import format_program
+
+
+def main():
+    # 1. A 256-dim LSTM with seeded random weights.
+    model = LstmReference(hidden_dim=256, seed=42)
+    print(f"model: LSTM hidden={model.hidden_dim}, "
+          f"{model.shape(1).parameter_count / 1e6:.2f}M parameters")
+
+    # 2. Lower onto the Stratix 10 instance (Table III's BW_S10).
+    compiled = compile_lstm(model, BW_S10)
+    print(f"target: {BW_S10.name} — {BW_S10.total_macs} MACs, "
+          f"{BW_S10.peak_tflops:.0f} peak TFLOPS, "
+          f"{compiled.mrf_tiles_used} MRF tile slots used")
+
+    # 3. Serve a 10-step request on the functional simulator and check
+    # it against the reference. `exact=True` disables BFP quantization
+    # so the comparison is bit-for-bit meaningful.
+    rng = np.random.default_rng(0)
+    xs = [rng.uniform(-1, 1, 256).astype(np.float32) for _ in range(10)]
+    outputs = compiled.run_sequence(xs, exact=True)
+    reference = model.run(xs)
+    err = max(np.abs(o - r).max() for o, r in zip(outputs, reference))
+    print(f"functional check: max |error| vs numpy reference = {err:.2e}")
+
+    # ... and once more with the production BFP numerics (1s.5e.2m).
+    bfp_outputs = compiled.run_sequence(xs, exact=False)
+    rel = (np.linalg.norm(bfp_outputs[-1] - reference[-1])
+           / np.linalg.norm(reference[-1]))
+    print(f"BFP (1s.5e.2m) check: relative output error = {rel:.3f}")
+
+    # 4. Latency estimate from the calibrated cycle-level model.
+    report = TimingSimulator(BW_S10).run(
+        compiled.program, bindings={"steps": 10},
+        nominal_ops=10 * compiled.ops_per_step)
+    print(f"timing: {report.total_cycles:.0f} cycles = "
+          f"{report.latency_ms * 1e3:.1f} us for 10 timesteps "
+          f"({report.effective_tflops:.2f} effective TFLOPS)")
+
+    # 5. The generated program, in the ISA's assembly form.
+    text = format_program(compiled.program)
+    lines = text.splitlines()
+    print(f"\ngenerated NPU program ({len(lines)} lines); first chain:")
+    for line in lines[:12]:
+        print("   ", line)
+    print("    ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Recalibrate the timing-model constants against Table V.
+
+The frozen defaults in ``repro.timing.latency.LatencyConstants`` were
+produced by this script: a coarse grid search over the pipeline-depth
+constants, scored by relative error against the eleven measured per-step
+cycle counts of the paper's Table V (BW_S10 at 250 MHz). Run it to
+verify the frozen constants are still (near-)optimal after model
+changes::
+
+    python scripts/calibrate_timing.py
+
+It prints the best grid point, the frozen defaults' score, and the
+per-benchmark fit for both.
+"""
+
+import itertools
+import math
+from typing import Dict, Tuple
+
+from repro.baselines.deepbench import PUBLISHED_TABLE5
+from repro.compiler.lowering import compile_rnn_shape
+from repro.config import BW_S10
+from repro.timing import LatencyConstants, TimingSimulator
+
+#: Per-step cycle targets derived from Table V (latency * clock / steps).
+TARGETS: Dict[Tuple[str, int], float] = {
+    (row.benchmark.kind, row.benchmark.hidden_dim):
+        row.bw_latency_ms * 1e-3 * BW_S10.clock_mhz * 1e6
+        / row.benchmark.time_steps
+    for row in PUBLISHED_TABLE5 if row.benchmark.time_steps > 1
+}
+
+GRID = dict(
+    arb_depth=[8, 12, 20],
+    mvm_fixed=[30, 40, 60, 90],
+    fu_depth=[6, 8, 12],
+    mfu_transit=[8],
+    wb_depth=[16, 24, 36],
+    forward_delay=[20, 30, 50],
+    chain_setup_cycles=[68, 70, 72, 74],
+)
+
+
+def measure(constants: LatencyConstants) -> Dict[Tuple[str, int], float]:
+    """Steady-state cycles/step for every target benchmark."""
+    out = {}
+    for (kind, hidden) in TARGETS:
+        compiled = compile_rnn_shape(kind, hidden, BW_S10)
+        a = TimingSimulator(BW_S10, constants=constants).run(
+            compiled.program, bindings={"steps": 6},
+            include_invocation_overhead=False).total_cycles
+        b = TimingSimulator(BW_S10, constants=constants).run(
+            compiled.program, bindings={"steps": 16},
+            include_invocation_overhead=False).total_cycles
+        out[(kind, hidden)] = (b - a) / 10
+    return out
+
+
+def rms_relative_error(measured: Dict[Tuple[str, int], float]) -> float:
+    total = sum(((measured[k] - TARGETS[k]) / TARGETS[k]) ** 2
+                for k in TARGETS)
+    return math.sqrt(total / len(TARGETS))
+
+
+def main() -> None:
+    frozen = LatencyConstants()
+    frozen_fit = measure(frozen)
+    print(f"frozen defaults: rms relative error "
+          f"{rms_relative_error(frozen_fit):.4f}")
+
+    best = None
+    for values in itertools.product(*GRID.values()):
+        constants = LatencyConstants(**dict(zip(GRID, values)))
+        fit = measure(constants)
+        err = rms_relative_error(fit)
+        if best is None or err < best[0]:
+            best = (err, constants, fit)
+    err, constants, fit = best
+    print(f"grid best:       rms relative error {err:.4f}")
+    print(constants)
+    print(f"\n{'benchmark':<14} {'paper':>7} {'frozen':>7} {'best':>7}")
+    for key in sorted(TARGETS):
+        kind, hidden = key
+        print(f"{kind.upper()}-{hidden:<8} {TARGETS[key]:>7.0f} "
+              f"{frozen_fit[key]:>7.0f} {fit[key]:>7.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Baselines: GPU roofline models and the DeepBench suite definitions."""
+
+from .gpu import (
+    P40,
+    TITAN_XP,
+    GpuCnnModel,
+    GpuCnnResult,
+    GpuRnnModel,
+    GpuRnnResult,
+    GpuSpec,
+)
+from .deepbench import (
+    BATCH_SCALING_SUBSET,
+    FIG8_BATCH_SIZES,
+    PUBLISHED_TABLE5,
+    SUITE,
+    PublishedRow,
+    RnnBenchmark,
+    published_row,
+)
+
+__all__ = [
+    "GpuSpec", "GpuRnnModel", "GpuRnnResult", "GpuCnnModel",
+    "GpuCnnResult", "TITAN_XP", "P40", "RnnBenchmark", "PublishedRow",
+    "SUITE", "PUBLISHED_TABLE5", "published_row",
+    "BATCH_SCALING_SUBSET", "FIG8_BATCH_SIZES",
+]

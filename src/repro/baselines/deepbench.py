@@ -1,0 +1,139 @@
+"""The DeepBench RNN inference suite and the paper's published results.
+
+DeepBench [16] is Baidu's microbenchmark suite of representative DNN
+layers; the paper evaluates its GRU/LSTM inference set at batch size 1
+(Table V). This module defines the eleven benchmark shapes and records
+the paper's published measurements — BW_S10 latency / effective TFLOPS /
+utilization, the SDM reference latency, and the Titan Xp comparison — so
+the reproduction harness can print model-vs-paper for every cell.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..models.gru import GruShape
+from ..models.lstm import LstmShape
+
+
+@dataclasses.dataclass(frozen=True)
+class RnnBenchmark:
+    """One DeepBench RNN inference benchmark."""
+
+    kind: str  # "gru" or "lstm"
+    hidden_dim: int
+    time_steps: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gru", "lstm"):
+            raise ValueError("kind must be 'gru' or 'lstm'")
+
+    @property
+    def name(self) -> str:
+        return f"{self.kind.upper()} h={self.hidden_dim} t={self.time_steps}"
+
+    @property
+    def input_dim(self) -> int:
+        """DeepBench RNN layers use input dimension == hidden dimension."""
+        return self.hidden_dim
+
+    def shape(self):
+        """Shape metadata object (ops, parameters)."""
+        if self.kind == "gru":
+            return GruShape(self.hidden_dim, self.input_dim,
+                            self.time_steps)
+        return LstmShape(self.hidden_dim, self.input_dim, self.time_steps)
+
+    @property
+    def ops_per_step(self) -> int:
+        return self.shape().ops_per_step
+
+    @property
+    def total_ops(self) -> int:
+        return self.shape().total_ops
+
+    def weight_bytes(self, bytes_per_weight: float) -> float:
+        return self.shape().parameter_count * bytes_per_weight
+
+
+@dataclasses.dataclass(frozen=True)
+class PublishedRow:
+    """One row of the paper's Table V (measured results)."""
+
+    benchmark: RnnBenchmark
+    sdm_latency_ms: float
+    bw_latency_ms: float
+    bw_tflops: float
+    bw_utilization_pct: float
+    gpu_latency_ms: float
+    gpu_tflops: float
+    gpu_utilization_pct: float
+
+
+def _b(kind: str, h: int, t: int) -> RnnBenchmark:
+    return RnnBenchmark(kind, h, t)
+
+
+#: The eleven DeepBench RNN inference benchmarks of Table V, in order.
+SUITE: List[RnnBenchmark] = [
+    _b("gru", 2816, 750),
+    _b("gru", 2560, 375),
+    _b("gru", 2048, 375),
+    _b("gru", 1536, 375),
+    _b("gru", 1024, 1500),
+    _b("gru", 512, 1),
+    _b("lstm", 2048, 25),
+    _b("lstm", 1536, 50),
+    _b("lstm", 1024, 25),
+    _b("lstm", 512, 25),
+    _b("lstm", 256, 150),
+]
+
+#: Table V as published (SDM / BW_S10 / Titan Xp).
+PUBLISHED_TABLE5: List[PublishedRow] = [
+    PublishedRow(_b("gru", 2816, 750), 1.581, 1.987, 35.92, 74.8,
+                 178.60, 0.40, 3.3),
+    PublishedRow(_b("gru", 2560, 375), 0.661, 0.993, 29.69, 61.8,
+                 74.62, 0.40, 3.3),
+    PublishedRow(_b("gru", 2048, 375), 0.438, 0.954, 19.79, 41.2,
+                 51.59, 0.37, 3.0),
+    PublishedRow(_b("gru", 1536, 375), 0.266, 0.951, 11.17, 23.3,
+                 31.73, 0.33, 2.8),
+    PublishedRow(_b("gru", 1024, 1500), 0.558, 3.792, 4.98, 10.4,
+                 59.51, 0.32, 2.6),
+    PublishedRow(_b("gru", 512, 1), 0.00017, 0.013, 0.25, 0.5,
+                 0.06, 0.05, 0.4),
+    PublishedRow(_b("lstm", 2048, 25), 0.037, 0.074, 22.62, 47.1,
+                 5.27, 0.32, 2.7),
+    PublishedRow(_b("lstm", 1536, 50), 0.043, 0.145, 13.01, 27.1,
+                 6.20, 0.30, 2.5),
+    PublishedRow(_b("lstm", 1024, 25), 0.011, 0.074, 5.68, 11.8,
+                 1.87, 0.22, 1.9),
+    PublishedRow(_b("lstm", 512, 25), 0.0038, 0.077, 1.37, 2.8,
+                 1.26, 0.08, 0.7),
+    PublishedRow(_b("lstm", 256, 150), 0.0126, 0.425, 0.37, 0.8,
+                 1.99, 0.08, 0.7),
+]
+
+
+def published_row(benchmark: RnnBenchmark) -> Optional[PublishedRow]:
+    """Look up the published Table V row for a benchmark."""
+    for row in PUBLISHED_TABLE5:
+        if row.benchmark == benchmark:
+            return row
+    return None
+
+
+#: Large-RNN subset used for the batch-scaling study (Fig. 8 uses the
+#: bigger layers, where the GPU trend is cleanest).
+BATCH_SCALING_SUBSET: List[RnnBenchmark] = [
+    _b("gru", 2816, 750),
+    _b("gru", 2560, 375),
+    _b("lstm", 2048, 25),
+    _b("lstm", 1536, 50),
+]
+
+#: Batch sizes reported in Fig. 8 (DeepBench caps inference batching at
+#: 4; 32 is shown as a what-if comparison point).
+FIG8_BATCH_SIZES = (1, 2, 4, 32)

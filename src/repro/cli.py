@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``configs`` — list the published NPU instances and their derived
+  parameters;
+* ``experiment <id|all>`` — run an experiment driver and print its
+  table (``table1``, ``table5``, ``fig8``, ...);
+* ``time <kind> <hidden> <steps>`` — latency/throughput of one RNN on a
+  configuration;
+* ``disassemble <kind> <hidden>`` — print the generated NPU program;
+* ``specialize <kind> <hidden> <device>`` — best synthesis-specialized
+  instance for a model on a device.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .config import STANDARD_CONFIGS
+from .errors import ReproError
+
+
+def _cmd_configs(_args) -> int:
+    header = (f"{'name':<12} {'tiles':>5} {'lanes':>5} {'N':>5} "
+              f"{'MRF':>5} {'MACs':>7} {'MHz':>5} {'TFLOPS':>7} "
+              f"{'precision':<16} device")
+    print(header)
+    print("-" * len(header))
+    for cfg in STANDARD_CONFIGS.values():
+        print(f"{cfg.name:<12} {cfg.tile_engines:>5} {cfg.lanes:>5} "
+              f"{cfg.native_dim:>5} {cfg.mrf_size:>5} "
+              f"{cfg.total_macs:>7} {cfg.clock_mhz:>5.0f} "
+              f"{cfg.peak_tflops:>7.1f} {cfg.precision_name:<16} "
+              f"{cfg.device}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from .harness import ALL_EXPERIMENTS
+    if args.id == "all":
+        names = sorted(ALL_EXPERIMENTS)
+    elif args.id in ALL_EXPERIMENTS:
+        names = [args.id]
+    else:
+        print(f"unknown experiment {args.id!r}; available: "
+              f"{', '.join(sorted(ALL_EXPERIMENTS))} or 'all'",
+              file=sys.stderr)
+        return 2
+    for name in names:
+        print(ALL_EXPERIMENTS[name]().render())
+        print()
+    return 0
+
+
+def _resolve_config(name: str):
+    if name not in STANDARD_CONFIGS:
+        raise ReproError(
+            f"unknown config {name!r}; available: "
+            f"{', '.join(STANDARD_CONFIGS)}")
+    return STANDARD_CONFIGS[name]
+
+
+def _cmd_time(args) -> int:
+    from .compiler.lowering import compile_rnn_shape
+    from .timing import TimingSimulator
+    config = _resolve_config(args.config)
+    compiled = compile_rnn_shape(args.kind, args.hidden, config)
+    report = TimingSimulator(config).run(
+        compiled.program, bindings={"steps": args.steps},
+        nominal_ops=args.steps * compiled.ops_per_step)
+    print(f"{args.kind.upper()} h={args.hidden} t={args.steps} on "
+          f"{config.name}:")
+    print(f"  latency:    {report.latency_ms:.4f} ms "
+          f"({report.total_cycles:.0f} cycles)")
+    print(f"  throughput: {report.effective_tflops:.2f} effective "
+          f"TFLOPS ({100 * report.utilization:.1f}% of peak)")
+    print(f"  MVM busy:   {100 * report.mvm_occupancy:.1f}% of cycles")
+    return 0
+
+
+def _cmd_disassemble(args) -> int:
+    from .compiler.lowering import compile_rnn_shape
+    from .isa import format_program
+    config = _resolve_config(args.config)
+    compiled = compile_rnn_shape(args.kind, args.hidden, config)
+    sys.stdout.write(format_program(compiled.program))
+    return 0
+
+
+def _cmd_specialize(args) -> int:
+    from .synthesis import best_config, device_by_name, rnn_requirements
+    try:
+        device = device_by_name(args.device)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    req = rnn_requirements(args.kind, args.hidden)
+    cand = best_config(req, device)
+    cfg = cand.config
+    print(f"best instance for {args.kind.upper()}-{args.hidden} on "
+          f"{device.name}:")
+    print(f"  native_dim={cfg.native_dim} lanes={cfg.lanes} "
+          f"tiles={cfg.tile_engines} mrf={cfg.mrf_size}")
+    print(f"  {cand.effective_tflops:.1f} effective TFLOPS "
+          f"({100 * cand.padding_efficiency:.0f}% padding efficiency)")
+    print(f"  {cand.resources.summary()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Brainwave NPU reproduction (ISCA 2018)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("configs", help="list the published NPU instances") \
+        .set_defaults(func=_cmd_configs)
+
+    p = sub.add_parser("experiment",
+                       help="run an experiment driver (or 'all')")
+    p.add_argument("id")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("time", help="time an RNN on a configuration")
+    p.add_argument("kind", choices=["lstm", "gru"])
+    p.add_argument("hidden", type=int)
+    p.add_argument("steps", type=int)
+    p.add_argument("--config", default="BW_S10",
+                   choices=sorted(STANDARD_CONFIGS))
+    p.set_defaults(func=_cmd_time)
+
+    p = sub.add_parser("disassemble",
+                       help="print the generated NPU program")
+    p.add_argument("kind", choices=["lstm", "gru"])
+    p.add_argument("hidden", type=int)
+    p.add_argument("--config", default="BW_S10",
+                   choices=sorted(STANDARD_CONFIGS))
+    p.set_defaults(func=_cmd_disassemble)
+
+    p = sub.add_parser("specialize",
+                       help="pick the best instance for a model")
+    p.add_argument("kind", choices=["lstm", "gru"])
+    p.add_argument("hidden", type=int)
+    p.add_argument("device")
+    p.set_defaults(func=_cmd_specialize)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Toolflow: lowering DNN models onto the BW NPU."""
+
+from .allocator import RegisterAllocator, Slot
+from .lowering import (
+    CompiledConv,
+    CompiledModel,
+    GruShapeOnly,
+    LstmShapeOnly,
+    compile_conv,
+    compile_gru,
+    compile_lstm,
+    compile_mlp,
+    compile_rnn_shape,
+)
+from .interleave import CompiledInterleaved, compile_lstm_interleaved
+from .stacked import compile_stacked_lstm, reference_stacked_run
+from .streaming import compile_lstm_streamed, compile_lstm_streamed_shape
+from .textcnn import CompiledTextCnn, compile_text_cnn
+from .girlower import CompiledGir, lower_gir
+
+__all__ = [
+    "RegisterAllocator", "Slot", "CompiledModel", "CompiledConv",
+    "compile_conv", "compile_gru", "compile_lstm", "compile_mlp",
+    "compile_rnn_shape", "LstmShapeOnly", "GruShapeOnly",
+    "CompiledInterleaved", "compile_lstm_interleaved",
+    "compile_stacked_lstm", "reference_stacked_run",
+    "compile_lstm_streamed", "compile_lstm_streamed_shape",
+    "CompiledTextCnn", "compile_text_cnn", "CompiledGir", "lower_gir",
+]

@@ -1,0 +1,122 @@
+"""GIR frontends: export reference models into the graph IR.
+
+Stands in for the paper's framework exporters (TensorFlow checkpoints
+into GIR, Section II-B).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..models.gru import GruReference
+from ..models.lstm import LstmReference
+from ..models.mlp import MlpReference
+from .gir import GirGraph
+
+
+def lstm_to_gir(model: LstmReference, steps: int = 1,
+                name: str = "lstm") -> GirGraph:
+    """Export an LSTM to GIR, unrolled over ``steps`` timesteps."""
+    h, x_dim = model.hidden_dim, model.input_dim
+    g = GirGraph(name)
+    for gate in ("f", "i", "o", "c"):
+        g.add(f"W_{gate}", "constant", shape=(h, x_dim),
+              value=model.W[gate])
+        g.add(f"U_{gate}", "constant", shape=(h, h),
+              value=model.U[gate])
+        g.add(f"b_{gate}", "constant", shape=(h,), value=model.b[gate])
+    g.add("h_0", "constant", shape=(h,), value=np.zeros(h))
+    g.add("c_0", "constant", shape=(h,), value=np.zeros(h))
+    h_prev, c_prev = "h_0", "c_0"
+    for t in range(steps):
+        g.add(f"x_{t}", "input", shape=(x_dim,))
+        acts = {}
+        for gate in ("f", "i", "o", "c"):
+            g.add(f"xW_{gate}_{t}", "matmul",
+                  [f"W_{gate}", f"x_{t}"], shape=(h,))
+            g.add(f"xWb_{gate}_{t}", "add",
+                  [f"xW_{gate}_{t}", f"b_{gate}"], shape=(h,))
+            g.add(f"hU_{gate}_{t}", "matmul",
+                  [f"U_{gate}", h_prev], shape=(h,))
+            g.add(f"pre_{gate}_{t}", "add",
+                  [f"xWb_{gate}_{t}", f"hU_{gate}_{t}"], shape=(h,))
+            act_op = "tanh" if gate == "c" else "sigmoid"
+            acts[gate] = f"act_{gate}_{t}"
+            g.add(acts[gate], act_op, [f"pre_{gate}_{t}"], shape=(h,))
+        g.add(f"fc_{t}", "mul", [acts["f"], c_prev], shape=(h,))
+        g.add(f"ic_{t}", "mul", [acts["i"], acts["c"]], shape=(h,))
+        g.add(f"c_{t + 1}", "add", [f"fc_{t}", f"ic_{t}"], shape=(h,))
+        g.add(f"tanh_c_{t}", "tanh", [f"c_{t + 1}"], shape=(h,))
+        g.add(f"h_{t + 1}", "mul", [acts["o"], f"tanh_c_{t}"], shape=(h,))
+        g.add(f"out_{t}", "output", [f"h_{t + 1}"], shape=(h,))
+        h_prev, c_prev = f"h_{t + 1}", f"c_{t + 1}"
+    g.validate()
+    return g
+
+
+def gru_to_gir(model: GruReference, steps: int = 1,
+               name: str = "gru") -> GirGraph:
+    """Export a GRU (cuDNN dataflow) to GIR, unrolled over ``steps``."""
+    h, x_dim = model.hidden_dim, model.input_dim
+    g = GirGraph(name)
+    for gate in ("r", "z", "h"):
+        g.add(f"W_{gate}", "constant", shape=(h, x_dim),
+              value=model.W[gate])
+        g.add(f"U_{gate}", "constant", shape=(h, h),
+              value=model.U[gate])
+        g.add(f"b_{gate}", "constant", shape=(h,), value=model.b[gate])
+    g.add("one", "constant", shape=(h,), value=np.ones(h))
+    g.add("h_0", "constant", shape=(h,), value=np.zeros(h))
+    h_prev = "h_0"
+    for t in range(steps):
+        g.add(f"x_{t}", "input", shape=(x_dim,))
+        for gate in ("r", "z", "h"):
+            g.add(f"xW_{gate}_{t}", "matmul",
+                  [f"W_{gate}", f"x_{t}"], shape=(h,))
+            g.add(f"xWb_{gate}_{t}", "add",
+                  [f"xW_{gate}_{t}", f"b_{gate}"], shape=(h,))
+        for gate in ("r", "z"):
+            g.add(f"hU_{gate}_{t}", "matmul",
+                  [f"U_{gate}", h_prev], shape=(h,))
+            g.add(f"pre_{gate}_{t}", "add",
+                  [f"xWb_{gate}_{t}", f"hU_{gate}_{t}"], shape=(h,))
+            g.add(f"act_{gate}_{t}", "sigmoid", [f"pre_{gate}_{t}"],
+                  shape=(h,))
+        g.add(f"hU_h_{t}", "matmul", [f"U_h", h_prev], shape=(h,))
+        g.add(f"rUh_{t}", "mul", [f"act_r_{t}", f"hU_h_{t}"], shape=(h,))
+        g.add(f"pre_h_{t}", "add", [f"xWb_h_{t}", f"rUh_{t}"], shape=(h,))
+        g.add(f"htilde_{t}", "tanh", [f"pre_h_{t}"], shape=(h,))
+        g.add(f"zbar_{t}", "sub", ["one", f"act_z_{t}"], shape=(h,))
+        g.add(f"zbh_{t}", "mul", [f"zbar_{t}", f"htilde_{t}"], shape=(h,))
+        g.add(f"zh_{t}", "mul", [f"act_z_{t}", h_prev], shape=(h,))
+        g.add(f"h_{t + 1}", "add", [f"zbh_{t}", f"zh_{t}"], shape=(h,))
+        g.add(f"out_{t}", "output", [f"h_{t + 1}"], shape=(h,))
+        h_prev = f"h_{t + 1}"
+    g.validate()
+    return g
+
+
+def mlp_to_gir(model: MlpReference, name: str = "mlp") -> GirGraph:
+    """Export an MLP to GIR."""
+    dims = model.layer_dims
+    g = GirGraph(name)
+    g.add("x", "input", shape=(dims[0],))
+    prev = "x"
+    last = len(model.weights) - 1
+    for i in range(len(model.weights)):
+        g.add(f"W{i}", "constant", shape=(dims[i + 1], dims[i]),
+              value=model.weights[i])
+        g.add(f"b{i}", "constant", shape=(dims[i + 1],),
+              value=model.biases[i])
+        g.add(f"mm{i}", "matmul", [f"W{i}", prev], shape=(dims[i + 1],))
+        g.add(f"pre{i}", "add", [f"mm{i}", f"b{i}"], shape=(dims[i + 1],))
+        act = model.output_activation if i == last else model.activation
+        op = {"relu": "relu", "sigmoid": "sigmoid", "tanh": "tanh",
+              "linear": "identity"}[act]
+        g.add(f"act{i}", op, [f"pre{i}"], shape=(dims[i + 1],))
+        prev = f"act{i}"
+    g.add("y", "output", [prev], shape=(dims[-1],))
+    g.validate()
+    return g

@@ -1,0 +1,162 @@
+"""Graph intermediate representation (GIR) of the BW toolflow.
+
+Section II-B: pre-trained models are exported into "BW's graph
+intermediate representation (GIR)", which undergoes optimizations and
+transformations — padding to native dimensions, constant pinning,
+operator fusion into chain candidates, and partitioning across
+accelerators — before being compiled to NPU and CPU binaries.
+
+The GIR here is deliberately small: operator nodes with shapes and
+attributes, a validity checker, and the queries the passes and the
+partitioner need (weight footprint, per-matmul tile counts).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import CompileError
+
+#: Operator kinds understood by the toolflow.
+OP_KINDS = frozenset({
+    "input", "output", "constant", "matmul", "add", "sub", "mul", "max",
+    "sigmoid", "tanh", "relu", "concat", "identity",
+})
+
+_ARITY = {
+    "input": 0, "constant": 0, "output": 1, "identity": 1,
+    "sigmoid": 1, "tanh": 1, "relu": 1,
+    "matmul": 2, "add": 2, "sub": 2, "mul": 2, "max": 2,
+}
+
+
+@dataclasses.dataclass
+class GirNode:
+    """One GIR operator node.
+
+    Attributes:
+        name: Unique name within the graph.
+        op: Operator kind (see :data:`OP_KINDS`).
+        inputs: Names of producer nodes, in operand order. For
+            ``matmul`` the first input is the (constant) matrix.
+        shape: Output shape — ``(n,)`` for vectors, ``(r, c)`` for
+            matrices.
+        attrs: Free-form attributes (e.g. ``pinned``, ``mrf_base``).
+    """
+
+    name: str
+    op: str
+    inputs: Tuple[str, ...] = ()
+    shape: Tuple[int, ...] = ()
+    attrs: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    @property
+    def is_weight(self) -> bool:
+        return self.op == "constant" and len(self.shape) == 2
+
+    @property
+    def weight_elements(self) -> int:
+        if not self.is_weight:
+            return 0
+        return self.shape[0] * self.shape[1]
+
+
+class GirGraph:
+    """A DAG of GIR nodes in topological insertion order."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._nodes: Dict[str, GirNode] = {}
+        self._order: List[str] = []
+
+    def add(self, name: str, op: str, inputs: Sequence[str] = (),
+            shape: Sequence[int] = (), **attrs) -> GirNode:
+        """Add a node; inputs must already exist."""
+        if op not in OP_KINDS:
+            raise CompileError(f"unknown GIR op {op!r}")
+        if name in self._nodes:
+            raise CompileError(f"duplicate GIR node {name!r}")
+        if op in _ARITY and _ARITY[op] != len(inputs) \
+                and op not in ("concat",):
+            raise CompileError(
+                f"{op} expects {_ARITY[op]} input(s), got {len(inputs)}")
+        for dep in inputs:
+            if dep not in self._nodes:
+                raise CompileError(
+                    f"node {name!r} references unknown input {dep!r}")
+        node = GirNode(name=name, op=op, inputs=tuple(inputs),
+                       shape=tuple(int(s) for s in shape), attrs=dict(attrs))
+        self._nodes[name] = node
+        self._order.append(name)
+        return node
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def node(self, name: str) -> GirNode:
+        if name not in self._nodes:
+            raise CompileError(f"no GIR node named {name!r}")
+        return self._nodes[name]
+
+    def nodes(self) -> Iterator[GirNode]:
+        return (self._nodes[n] for n in self._order)
+
+    def by_op(self, op: str) -> List[GirNode]:
+        return [n for n in self.nodes() if n.op == op]
+
+    def consumers(self, name: str) -> List[GirNode]:
+        return [n for n in self.nodes() if name in n.inputs]
+
+    @property
+    def weight_elements(self) -> int:
+        """Total constant matrix elements (the pinning footprint)."""
+        return sum(n.weight_elements for n in self.nodes())
+
+    def weight_nodes(self) -> List[GirNode]:
+        return [n for n in self.nodes() if n.is_weight]
+
+    def validate(self) -> None:
+        """Check shape consistency of every edge."""
+        for node in self.nodes():
+            if node.op == "matmul":
+                matrix = self.node(node.inputs[0])
+                vector = self.node(node.inputs[1])
+                if len(matrix.shape) != 2 or len(vector.shape) != 1:
+                    raise CompileError(
+                        f"matmul {node.name!r}: expected matrix and "
+                        f"vector operands")
+                if matrix.shape[1] != vector.shape[0]:
+                    raise CompileError(
+                        f"matmul {node.name!r}: {matrix.shape} x "
+                        f"{vector.shape} mismatch")
+                if node.shape != (matrix.shape[0],):
+                    raise CompileError(
+                        f"matmul {node.name!r}: bad output shape "
+                        f"{node.shape}")
+            elif node.op in ("add", "sub", "mul", "max"):
+                a = self.node(node.inputs[0])
+                b = self.node(node.inputs[1])
+                if a.shape != b.shape or node.shape != a.shape:
+                    raise CompileError(
+                        f"{node.op} {node.name!r}: shape mismatch "
+                        f"{a.shape} vs {b.shape} -> {node.shape}")
+            elif node.op in ("sigmoid", "tanh", "relu", "identity",
+                             "output"):
+                a = self.node(node.inputs[0])
+                if node.shape != a.shape:
+                    raise CompileError(
+                        f"{node.op} {node.name!r}: shape mismatch")
+            elif node.op == "concat":
+                total = sum(self.node(i).shape[0] for i in node.inputs)
+                if node.shape != (total,):
+                    raise CompileError(
+                        f"concat {node.name!r}: bad output shape")
+
+    def __repr__(self) -> str:
+        return f"GirGraph({self.name!r}, {len(self)} nodes)"

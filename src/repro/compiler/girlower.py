@@ -1,0 +1,433 @@
+"""Generic GIR-to-NPU lowering: compile arbitrary operator graphs.
+
+The hand-tuned lowerings in :mod:`repro.compiler.lowering` mirror the
+paper's per-model programs; this module is the general toolflow path:
+any validated :class:`~repro.compiler.gir.GirGraph` whose operators the
+NPU supports compiles to a program.
+
+The pass works consumer-driven:
+
+1. fuse operator runs into chain candidates
+   (:func:`repro.compiler.passes.fuse_chains`);
+2. place every value where its consumers need it — matrix constants in
+   the MRF, vector constants and chain outputs in the AddSub/Multiply
+   VRFs of the point-wise ops that read them, the InitialVrf for values
+   feeding a matmul, and the network queue for graph inputs/outputs
+   (multicast ``v_wr`` covers multi-placement);
+3. emit one chain per candidate in topological order, with
+   ``rows``/``columns`` tracking each chain's tile shape.
+
+Graphs exported by the frontends — including multi-step unrolled RNNs
+with shared weights — compile and execute exactly (verified against the
+numpy references in the test suite).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..config import NpuConfig
+from ..errors import CompileError
+from ..functional.executor import FunctionalSimulator
+from ..isa.memspace import MemId
+from ..isa.program import ProgramBuilder
+from .allocator import RegisterAllocator, Slot
+from .gir import GirGraph, GirNode
+from .lowering import CompiledModel, _DimTracker, _padded, _vector_count
+from .passes import NPU_OPS, ChainCandidate, fuse_chains
+
+#: GIR op -> ProgramBuilder point-wise emitter (operand index supplied).
+_BINARY_EMIT = {
+    "add": lambda b, idx: b.vv_add(idx),
+    "mul": lambda b, idx: b.vv_mul(idx),
+    "max": lambda b, idx: b.vv_max(idx),
+}
+_UNARY_EMIT = {
+    "sigmoid": lambda b: b.v_sigm(),
+    "tanh": lambda b: b.v_tanh(),
+    "relu": lambda b: b.v_relu(),
+}
+
+
+@dataclasses.dataclass
+class CompiledGir(CompiledModel):
+    """A GIR-compiled model with a per-node input/output API."""
+
+    #: (input node name, logical length, native-vector count) in order.
+    input_specs: Tuple[Tuple[str, int, int], ...] = ()
+    #: (source value name, logical length, native-vector count) in order.
+    output_specs: Tuple[Tuple[str, int, int], ...] = ()
+
+    def run_graph(self, inputs: List[np.ndarray],
+                  exact: bool = False) -> List[np.ndarray]:
+        """Evaluate the graph once; ``inputs`` align with the graph's
+        input nodes in declaration order. Returns one array per output
+        node."""
+        if len(inputs) != len(self.input_specs):
+            raise CompileError(
+                f"{self.name}: expected {len(self.input_specs)} "
+                f"input(s), got {len(inputs)}")
+        sim = self.new_simulator(exact=exact)
+        n = self.config.native_dim
+        for value, (spec, _len_, count) in zip(inputs,
+                                               self.input_specs):
+            flat = np.asarray(value, dtype=np.float32).reshape(-1)
+            if flat.shape[0] != _len_:
+                raise CompileError(
+                    f"{self.name}: input {spec!r} expects length "
+                    f"{_len_}, got {flat.shape[0]}")
+            padded = np.zeros(count * n, dtype=np.float32)
+            padded[:_len_] = flat
+            for i in range(count):
+                sim.netq.push_input(padded[i * n:(i + 1) * n])
+        sim.run(self.program, bindings={self.steps_binding: 1})
+        vectors = sim.netq.pop_outputs()
+        outputs: List[np.ndarray] = []
+        i = 0
+        for _name_, _len_, count in self.output_specs:
+            flat = np.concatenate(vectors[i:i + count])
+            outputs.append(flat[:_len_])
+            i += count
+        if i != len(vectors):
+            raise CompileError(
+                f"{self.name}: {len(vectors)} output vectors, expected "
+                f"{i}")
+        return outputs
+
+
+@dataclasses.dataclass
+class _Placement:
+    """Where one graph value lives."""
+
+    initial: Optional[Slot] = None
+    addsub: Optional[Slot] = None
+    multiply: Optional[Slot] = None
+    to_network: bool = False
+
+    def slots(self) -> List[Slot]:
+        return [s for s in (self.initial, self.addsub, self.multiply)
+                if s is not None]
+
+
+def lower_gir(graph: GirGraph, config: NpuConfig,
+              name: Optional[str] = None) -> CompiledModel:
+    """Compile a GIR graph onto ``config``.
+
+    The graph must validate, use only NPU-supported operators, and have
+    at least one ``input`` and one ``output`` node. Inputs are consumed
+    from the network queue in declaration order; outputs stream back in
+    declaration order.
+    """
+    graph.validate()
+    name = name if name is not None else graph.name
+    unsupported = [n.name for n in graph.nodes() if n.op not in NPU_OPS]
+    if unsupported:
+        raise CompileError(
+            f"{name}: operators not supported on the NPU: {unsupported}")
+    inputs = graph.by_op("input")
+    outputs = graph.by_op("output")
+    if not inputs or not outputs:
+        raise CompileError(f"{name}: need input and output nodes")
+
+    n = config.native_dim
+    alloc = RegisterAllocator(config)
+    chains = _order_chains(graph, fuse_chains(graph, config))
+
+    # ---- placement -------------------------------------------------------
+    placements: Dict[str, _Placement] = {}
+
+    def placement(value: str) -> _Placement:
+        return placements.setdefault(value, _Placement())
+
+    def vec_len(node_name: str) -> int:
+        shape = graph.node(node_name).shape
+        if len(shape) != 1:
+            raise CompileError(
+                f"{name}: {node_name!r} is not a vector value")
+        return shape[0]
+
+    matrix_slots: Dict[str, Slot] = {}
+    for node in graph.nodes():
+        if node.op == "matmul":
+            matrix = graph.node(node.inputs[0])
+            if not matrix.is_weight:
+                raise CompileError(
+                    f"{name}: matmul {node.name!r} needs a constant "
+                    "matrix operand (dynamic matrices are not "
+                    "supported by the MRF)")
+            if matrix.name not in matrix_slots:
+                matrix_slots[matrix.name] = alloc.alloc_matrix(
+                    matrix.shape[0], matrix.shape[1],
+                    f"mrf_{matrix.name}")
+
+    # Consumers decide where each vector value must be written.
+    for chain in chains:
+        head = chain.nodes[0]
+        if head.op == "matmul":
+            dynamic = _resolve(graph, head.inputs[1])
+            if graph.node(dynamic).op != "input":
+                p = placement(dynamic)
+                if p.initial is None:
+                    p.initial = alloc.alloc(
+                        MemId.InitialVrf, _vector_count(vec_len(dynamic), n),
+                        f"ivrf_{dynamic}")
+        else:
+            src = _chain_head_source(graph, chain)
+            if graph.node(src).op != "input":
+                p = placement(src)
+                if p.initial is None:
+                    p.initial = alloc.alloc(
+                        MemId.InitialVrf, _vector_count(vec_len(src), n),
+                        f"ivrf_{src}")
+        for node in chain.nodes:
+            if node.op in _BINARY_EMIT or node.op == "sub":
+                operand = _operand_of(graph, chain, node)
+                p = placement(operand)
+                count = _vector_count(vec_len(operand), n)
+                if node.op == "mul":
+                    if p.multiply is None:
+                        p.multiply = alloc.alloc(
+                            MemId.MultiplyVrf, count, f"mul_{operand}")
+                elif p.addsub is None:
+                    p.addsub = alloc.alloc(
+                        MemId.AddSubVrf, count, f"as_{operand}")
+    for out in outputs:
+        placement(_resolve(graph, out.inputs[0])).to_network = True
+
+    # Inputs consumed by more than their first chain (or by point-wise
+    # operands) must be materialized on arrival.
+    input_order = [node.name for node in inputs]
+
+    # ---- emission ---------------------------------------------------------
+    b = ProgramBuilder(name)
+    dims = _DimTracker(b)
+
+    with b.loop("steps"):
+        for input_name in input_order:
+            p = placements.get(input_name)
+            count = _vector_count(vec_len(input_name), n)
+            dims.set(rows=count)
+            b.v_rd(MemId.NetQ)
+            if p is None or not p.slots():
+                # Input feeds matmul heads directly; stage it anyway so
+                # every consumer chain can read it.
+                slot = alloc.alloc(MemId.InitialVrf, count,
+                                   f"ivrf_{input_name}")
+                placement(input_name).initial = slot
+            for slot in placement(input_name).slots():
+                b.v_wr(slot.mem, slot.base)
+
+        for chain in chains:
+            _emit_chain(graph, chain, config, b, dims, alloc,
+                        matrix_slots, placements, vec_len)
+
+    program = b.build()
+
+    def loader(sim: FunctionalSimulator) -> None:
+        for matrix_name, slot in matrix_slots.items():
+            values = graph.node(matrix_name).attrs.get("value")
+            if values is None:
+                raise CompileError(
+                    f"{name}: constant {matrix_name!r} has no 'value' "
+                    "attribute to load")
+            sim.load_matrix(slot.base, np.asarray(values,
+                                                  dtype=np.float32))
+        for value_name, p in placements.items():
+            node = graph.node(value_name)
+            if node.op != "constant":
+                continue
+            values = node.attrs.get("value")
+            if values is None:
+                raise CompileError(
+                    f"{name}: constant {value_name!r} has no 'value' "
+                    "attribute to load")
+            data = np.asarray(values, dtype=np.float32)
+            for slot in p.slots():
+                sim.vrfs[slot.mem].write(
+                    slot.base, _padded(data, slot.count, n))
+
+    input_specs = tuple(
+        (i, vec_len(i), _vector_count(vec_len(i), n))
+        for i in input_order)
+    output_specs = tuple(
+        (_resolve(graph, o.inputs[0]), vec_len(o.inputs[0]),
+         _vector_count(vec_len(o.inputs[0]), n))
+        for o in outputs)
+    total_in = sum(spec[2] for spec in input_specs)
+    total_out = sum(spec[2] for spec in output_specs)
+    return CompiledGir(
+        name=name, kind="gir", config=config, program=program,
+        allocator=alloc, loader=loader,
+        input_length=sum(spec[1] for spec in input_specs),
+        output_length=sum(spec[1] for spec in output_specs),
+        input_vectors_per_step=total_in,
+        output_vectors_per_step=total_out,
+        is_recurrent=False,
+        ops_per_step=_graph_ops(graph),
+        input_specs=input_specs,
+        output_specs=output_specs,
+    )
+
+
+def _order_chains(graph: GirGraph,
+                  chains: List[ChainCandidate]) -> List[ChainCandidate]:
+    """Topologically order chains by cross-chain value dependencies.
+
+    Fusion can pull a later value (e.g. the recurrent ``U h`` product)
+    into an earlier chain as a side operand, so head insertion order is
+    not execution order. Only chain tails are externally readable
+    (fusion requires single consumers for interior values), so the
+    producer of any external input is the chain containing it.
+    """
+    node_to_chain: Dict[str, int] = {}
+    for idx, chain in enumerate(chains):
+        for node in chain.nodes:
+            node_to_chain[node.name] = idx
+    deps: List[Set[int]] = [set() for _ in chains]
+    for idx, chain in enumerate(chains):
+        for node in chain.nodes:
+            for inp in node.inputs:
+                resolved = _resolve(graph, inp)
+                producer = node_to_chain.get(resolved)
+                if producer is not None and producer != idx:
+                    deps[idx].add(producer)
+    ordered: List[int] = []
+    emitted: Set[int] = set()
+    remaining = list(range(len(chains)))
+    while remaining:
+        progress = False
+        for idx in list(remaining):
+            if deps[idx] <= emitted:
+                ordered.append(idx)
+                emitted.add(idx)
+                remaining.remove(idx)
+                progress = True
+        if not progress:
+            raise CompileError(
+                "cyclic chain dependencies; the graph is not a DAG")
+    return [chains[i] for i in ordered]
+
+
+def _resolve(graph: GirGraph, name: str) -> str:
+    """Follow identity aliases to the real producing value."""
+    node = graph.node(name)
+    while node.op == "identity":
+        name = node.inputs[0]
+        node = graph.node(name)
+    return name
+
+
+def _graph_ops(graph: GirGraph) -> int:
+    total = 0
+    for node in graph.nodes():
+        if node.op == "matmul":
+            matrix = graph.node(node.inputs[0])
+            total += 2 * matrix.shape[0] * matrix.shape[1]
+        elif node.op in ("add", "sub", "mul", "max", "sigmoid", "tanh",
+                         "relu"):
+            total += node.shape[0] if node.shape else 0
+    return total
+
+
+def _chain_head_source(graph: GirGraph, chain: ChainCandidate) -> str:
+    """The dynamic value entering a point-wise-headed chain."""
+    head = chain.nodes[0]
+    dynamic = [i for i in head.inputs
+               if graph.node(i).op != "constant"]
+    if not dynamic:
+        raise CompileError(
+            f"chain at {head.name!r} has no dynamic input")
+    return _resolve(graph, dynamic[0])
+
+
+def _operand_of(graph: GirGraph, chain: ChainCandidate,
+                node: GirNode) -> str:
+    """The side operand (not the chain value) of a binary node."""
+    position = chain.nodes.index(node)
+    if position == 0:
+        through = _chain_head_source(graph, chain)
+    else:
+        through = chain.nodes[position - 1].name
+    others = [i for i in node.inputs
+              if _resolve(graph, i) != through]
+    if len(others) != 1:
+        raise CompileError(
+            f"cannot identify the side operand of {node.name!r}")
+    return _resolve(graph, others[0])
+
+
+def _emit_chain(graph, chain, config, b, dims, alloc, matrix_slots,
+                placements, vec_len) -> None:
+    head = chain.nodes[0]
+    n = config.native_dim
+    if head.op == "matmul":
+        matrix = graph.node(head.inputs[0])
+        rows = _vector_count(matrix.shape[0], n)
+        cols = _vector_count(matrix.shape[1], n)
+        dims.set(rows=rows, cols=cols)
+        source = _resolve(graph, head.inputs[1])
+        src_slot = placements[source].initial
+        b.v_rd(MemId.InitialVrf, src_slot.base)
+        b.mv_mul(matrix_slots[matrix.name].base)
+        body = chain.nodes[1:]
+    else:
+        source = _chain_head_source(graph, chain)
+        rows = _vector_count(vec_len(chain.nodes[-1].name), n)
+        dims.set(rows=rows)
+        src_place = placements[source]
+        slot = (src_place.initial or src_place.addsub
+                or src_place.multiply)
+        b.v_rd(slot.mem, slot.base)
+        body = chain.nodes
+        first = body[0]
+        _emit_pointwise(graph, chain, first, b, placements)
+        body = body[1:]
+
+    for node in body:
+        _emit_pointwise(graph, chain, node, b, placements)
+
+    result = chain.nodes[-1].name
+    p = placements.get(result)
+    wrote = False
+    if p is not None:
+        for slot in p.slots():
+            b.v_wr(slot.mem, slot.base)
+            wrote = True
+        if p.to_network:
+            b.v_wr(MemId.NetQ)
+            wrote = True
+    if not wrote:
+        raise CompileError(
+            f"value {result!r} has no consumers; dead chains are not "
+            "allowed")
+
+
+def _emit_pointwise(graph, chain, node, b, placements) -> None:
+    if node.op in _UNARY_EMIT:
+        _UNARY_EMIT[node.op](b)
+        return
+    if node.op == "identity":
+        return
+    if node.op == "sub":
+        position = chain.nodes.index(node)
+        through = (_chain_head_source(graph, chain) if position == 0
+                   else chain.nodes[position - 1].name)
+        through = _resolve(graph, through)
+        operand = _operand_of(graph, chain, node)
+        slot = placements[operand].addsub
+        if _resolve(graph, node.inputs[0]) == through:
+            b.vv_a_sub_b(slot.base)   # chain value is the minuend
+        else:
+            b.vv_b_sub_a(slot.base)   # chain value is the subtrahend
+        return
+    if node.op in _BINARY_EMIT:
+        operand = _operand_of(graph, chain, node)
+        p = placements[operand]
+        slot = p.multiply if node.op == "mul" else p.addsub
+        _BINARY_EMIT[node.op](b, slot.base)
+        return
+    raise CompileError(f"cannot emit GIR op {node.op!r}")

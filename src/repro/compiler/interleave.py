@@ -1,0 +1,198 @@
+"""Batch-interleaved RNN lowering (paper Section VII-B3, future work).
+
+"There is additional firmware optimizations to be made for batch size
+>= 2 by interleaving the computation for each RNN timestep among all
+input batches to further space out dependencies. This would be
+particularly effective at increasing utilization for small LSTM/GRU
+layers, which are not always able to fill the deep BW pipeline."
+
+This module implements that optimization: :func:`compile_lstm_interleaved`
+lowers an LSTM so each timestep's chains are emitted for every batch
+element back-to-back. Chains of different batch elements are independent,
+so the serial h->gates->c->h dependency of one element hides behind the
+work of the others. The weights are shared; only the state slots
+(``xt``, ``h_prev``, ``c_prev``, gate temporaries) replicate per element.
+
+Realizing the utilization gain also requires the configuration-caching
+scheduler (``TimingSimulator(replay_loops=True)``): with full per-chain
+setup the top-level scheduler itself becomes the bottleneck and
+interleaving cannot help — which is precisely why the paper calls this a
+*firmware* optimization. The ablation benchmark quantifies both halves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import NpuConfig
+from ..errors import CompileError
+from ..functional.executor import FunctionalSimulator
+from ..isa.memspace import MemId
+from ..isa.program import ProgramBuilder
+from ..models.lstm import LstmReference
+from .allocator import RegisterAllocator
+from .lowering import CompiledModel, _DimTracker, _padded, _vector_count
+
+
+@dataclasses.dataclass
+class CompiledInterleaved(CompiledModel):
+    """A batch-interleaved recurrent model."""
+
+    batch: int = 1
+
+    def run_batch(self, sequences: List[List[np.ndarray]],
+                  exact: bool = False,
+                  sim: Optional[FunctionalSimulator] = None
+                  ) -> List[List[np.ndarray]]:
+        """Run ``batch`` independent sequences of equal length.
+
+        Returns per-sequence output lists, matching what ``batch``
+        separate :meth:`run_sequence` calls would produce.
+        """
+        if len(sequences) != self.batch:
+            raise CompileError(
+                f"{self.name}: expected {self.batch} sequences, got "
+                f"{len(sequences)}")
+        steps = len(sequences[0])
+        if any(len(s) != steps for s in sequences):
+            raise CompileError(
+                f"{self.name}: all sequences must share one length")
+        if sim is None:
+            sim = self.new_simulator(exact=exact)
+        # Inputs interleave batch-major within each timestep.
+        for t in range(steps):
+            for b in range(self.batch):
+                self._push_padded(sim, sequences[b][t])
+        sim.run(self.program, bindings={self.steps_binding: steps})
+        vectors = sim.netq.pop_outputs()
+        per = self.output_vectors_per_step
+        expected = steps * self.batch * per
+        if len(vectors) != expected:
+            raise CompileError(
+                f"{self.name}: expected {expected} output vectors, got "
+                f"{len(vectors)}")
+        outputs: List[List[np.ndarray]] = [[] for _ in range(self.batch)]
+        i = 0
+        for _ in range(steps):
+            for b in range(self.batch):
+                flat = np.concatenate(vectors[i:i + per])
+                outputs[b].append(flat[:self.output_length])
+                i += per
+        return outputs
+
+
+def compile_lstm_interleaved(model: LstmReference, config: NpuConfig,
+                             batch: int,
+                             name: str = "lstm_interleaved"
+                             ) -> CompiledInterleaved:
+    """Lower an LSTM with ``batch`` interleaved input streams.
+
+    Identical arithmetic to :func:`repro.compiler.lowering.compile_lstm`
+    per element; per timestep the chain schedule runs each phase across
+    all elements before moving on, so no two dependent chains are
+    adjacent for batch >= 2.
+    """
+    if batch < 1:
+        raise CompileError("batch must be >= 1")
+    n = config.native_dim
+    h, x_dim = model.hidden_dim, model.input_dim
+    rows = _vector_count(h, n)
+    cols = _vector_count(h, n)
+    cols_x = _vector_count(x_dim, n)
+
+    alloc = RegisterAllocator(config)
+    for gate in ("f", "i", "o", "c"):
+        alloc.alloc_matrix(h, x_dim, f"W_{gate}")
+        alloc.alloc_matrix(h, h, f"U_{gate}")
+    bias = {g: alloc.alloc(MemId.AddSubVrf, rows, f"b_{g}")
+            for g in ("f", "i", "o", "c")}
+    xt = [alloc.alloc(MemId.InitialVrf, cols_x, f"xt{b}")
+          for b in range(batch)]
+    h_prev = [alloc.alloc(MemId.InitialVrf, cols, f"h_prev{b}")
+              for b in range(batch)]
+    ct = [alloc.alloc(MemId.InitialVrf, rows, f"ct{b}")
+          for b in range(batch)]
+    xw = {(g, b): alloc.alloc(MemId.AddSubVrf, rows, f"xW_{g}{b}")
+          for g in ("f", "i", "o", "c") for b in range(batch)}
+    ft_mod = [alloc.alloc(MemId.AddSubVrf, rows, f"ft_mod{b}")
+              for b in range(batch)]
+    c_prev = [alloc.alloc(MemId.MultiplyVrf, rows, f"c_prev{b}")
+              for b in range(batch)]
+    it = [alloc.alloc(MemId.MultiplyVrf, rows, f"it{b}")
+          for b in range(batch)]
+    ot = [alloc.alloc(MemId.MultiplyVrf, rows, f"ot{b}")
+          for b in range(batch)]
+
+    b_ = ProgramBuilder(name)
+    dims = _DimTracker(b_)
+    with b_.loop("steps"):
+        dims.set(rows=cols_x)
+        for b in range(batch):
+            b_.v_rd(MemId.NetQ)
+            b_.v_wr(MemId.InitialVrf, xt[b].base)
+        dims.set(rows=rows, cols=cols_x)
+        for gate in ("f", "i", "o", "c"):
+            for b in range(batch):
+                b_.v_rd(MemId.InitialVrf, xt[b].base)
+                b_.mv_mul(alloc.slot(f"W_{gate}").base)
+                b_.vv_add(bias[gate].base)
+                b_.v_wr(MemId.AddSubVrf, xw[(gate, b)].base)
+        dims.set(rows=rows, cols=cols)
+        for b in range(batch):
+            b_.v_rd(MemId.InitialVrf, h_prev[b].base)
+            b_.mv_mul(alloc.slot("U_f").base)
+            b_.vv_add(xw[("f", b)].base)
+            b_.v_sigm()
+            b_.vv_mul(c_prev[b].base)
+            b_.v_wr(MemId.AddSubVrf, ft_mod[b].base)
+        for b in range(batch):
+            b_.v_rd(MemId.InitialVrf, h_prev[b].base)
+            b_.mv_mul(alloc.slot("U_i").base)
+            b_.vv_add(xw[("i", b)].base)
+            b_.v_sigm()
+            b_.v_wr(MemId.MultiplyVrf, it[b].base)
+        for b in range(batch):
+            b_.v_rd(MemId.InitialVrf, h_prev[b].base)
+            b_.mv_mul(alloc.slot("U_o").base)
+            b_.vv_add(xw[("o", b)].base)
+            b_.v_sigm()
+            b_.v_wr(MemId.MultiplyVrf, ot[b].base)
+        for b in range(batch):
+            b_.v_rd(MemId.InitialVrf, h_prev[b].base)
+            b_.mv_mul(alloc.slot("U_c").base)
+            b_.vv_add(xw[("c", b)].base)
+            b_.v_tanh()
+            b_.vv_mul(it[b].base)
+            b_.vv_add(ft_mod[b].base)
+            b_.v_wr(MemId.MultiplyVrf, c_prev[b].base)
+            b_.v_wr(MemId.InitialVrf, ct[b].base)
+        dims.set(rows=rows)
+        for b in range(batch):
+            b_.v_rd(MemId.InitialVrf, ct[b].base)
+            b_.v_tanh()
+            b_.vv_mul(ot[b].base)
+            b_.v_wr(MemId.InitialVrf, h_prev[b].base)
+            b_.v_wr(MemId.NetQ)
+    program = b_.build()
+
+    def loader(sim: FunctionalSimulator) -> None:
+        if not hasattr(model, "W"):
+            raise CompileError(
+                f"{name} was compiled from shapes only (timing use)")
+        for gate in ("f", "i", "o", "c"):
+            sim.load_matrix(alloc.slot(f"W_{gate}").base, model.W[gate])
+            sim.load_matrix(alloc.slot(f"U_{gate}").base, model.U[gate])
+            sim.vrfs[MemId.AddSubVrf].write(
+                bias[gate].base, _padded(model.b[gate], rows, n))
+
+    return CompiledInterleaved(
+        name=name, kind="lstm", config=config, program=program,
+        allocator=alloc, loader=loader,
+        input_length=x_dim, output_length=h,
+        input_vectors_per_step=cols_x, output_vectors_per_step=rows,
+        ops_per_step=batch * model.shape(1).ops_per_step,
+        batch=batch,
+    )

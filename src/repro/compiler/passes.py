@@ -1,0 +1,159 @@
+"""GIR analysis and transformation passes (Section II-B).
+
+The toolflow runs "a series of optimizations and transformations based on
+target constraints of the backend system". Implemented here:
+
+* :func:`annotate_padding` — record padded tile grids and padding
+  efficiency per matmul for a native dimension;
+* :func:`pin_constants` — decide which weights pin on chip versus stream
+  from DRAM, under the config's packed MRF capacity;
+* :func:`fuse_chains` — group operator sequences into instruction-chain
+  candidates and check them against the MFU budget;
+* :func:`cpu_fallback_nodes` — operators the NPU cannot execute, grouped
+  for the CPU sub-graph of the federated runtime.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Set, Tuple
+
+from ..config import NpuConfig
+from ..errors import CompileError
+from .gir import GirGraph, GirNode
+
+#: GIR ops directly executable on the NPU datapath.
+NPU_OPS = frozenset({"input", "output", "constant", "matmul", "add",
+                     "sub", "mul", "max", "sigmoid", "tanh", "relu",
+                     "identity"})
+
+#: Map from GIR point-wise op to the MFU unit category it consumes.
+_FU_CATEGORY = {"add": "add_sub", "sub": "add_sub", "max": "add_sub",
+                "mul": "multiply", "sigmoid": "activation",
+                "tanh": "activation", "relu": "activation"}
+
+
+def annotate_padding(graph: GirGraph, config: NpuConfig) -> float:
+    """Annotate each matmul with its padded tile grid; returns the
+    graph-wide padding efficiency (real MACs / padded MACs)."""
+    n = config.native_dim
+    real = 0
+    padded = 0
+    for node in graph.by_op("matmul"):
+        matrix = graph.node(node.inputs[0])
+        rows, cols = matrix.shape
+        tile_rows = math.ceil(rows / n)
+        tile_cols = math.ceil(cols / n)
+        node.attrs["tile_grid"] = (tile_rows, tile_cols)
+        node.attrs["padded_elements"] = tile_rows * tile_cols * n * n
+        real += rows * cols
+        padded += tile_rows * tile_cols * n * n
+    efficiency = real / padded if padded else 1.0
+    return efficiency
+
+
+def pin_constants(graph: GirGraph, config: NpuConfig) -> Tuple[int, int]:
+    """Assign weights to on-chip MRF (pinned) or DRAM (streamed).
+
+    Weights are pinned greedily in graph order until the packed MRF
+    capacity is exhausted; the rest are marked for DRAM streaming (the
+    CNN regime). Returns ``(pinned_elements, streamed_elements)``.
+    """
+    capacity = config.mrf_capacity_elements
+    pinned = 0
+    streamed = 0
+    for node in graph.weight_nodes():
+        elements = node.weight_elements
+        if pinned + elements <= capacity:
+            node.attrs["placement"] = "mrf"
+            pinned += elements
+        else:
+            node.attrs["placement"] = "dram"
+            streamed += elements
+    return pinned, streamed
+
+
+@dataclasses.dataclass
+class ChainCandidate:
+    """A fused sequence of GIR nodes forming one instruction chain."""
+
+    nodes: List[GirNode]
+
+    @property
+    def has_matmul(self) -> bool:
+        return any(n.op == "matmul" for n in self.nodes)
+
+    def mfus_required(self) -> int:
+        """MFUs needed to route the chain's point-wise tail."""
+        mfu = 0
+        used: Set[str] = set()
+        any_pw = False
+        for node in self.nodes:
+            category = _FU_CATEGORY.get(node.op)
+            if category is None:
+                continue
+            any_pw = True
+            while category in used:
+                mfu += 1
+                used = set()
+            used.add(category)
+        return mfu + 1 if any_pw else 0
+
+
+def fuse_chains(graph: GirGraph, config: NpuConfig
+                ) -> List[ChainCandidate]:
+    """Greedy fusion of linear operator runs into chain candidates.
+
+    Walks the graph in topological order, starting a chain at each matmul
+    (or at a point-wise op whose producer isn't fusable) and extending it
+    while the consumer relation is linear (single consumer, point-wise)
+    and the MFU budget allows.
+
+    Raises:
+        CompileError: if a single point-wise op cannot fit any chain
+            (pathological MFU budget of 0 handled by config validation).
+    """
+    chains: List[ChainCandidate] = []
+    absorbed: Set[str] = set()
+    for node in graph.nodes():
+        if node.op not in {"matmul"} | set(_FU_CATEGORY):
+            continue
+        if node.name in absorbed:
+            continue
+        chain_nodes = [node]
+        absorbed.add(node.name)
+        current = node
+        while True:
+            consumers = graph.consumers(current.name)
+            # Fusion requires the value to have exactly one consumer
+            # overall (otherwise it must be materialized in a register
+            # file) and that consumer to be a point-wise op.
+            if len(consumers) != 1 or consumers[0].op not in _FU_CATEGORY:
+                break
+            nxt = consumers[0]
+            if nxt.name in absorbed:
+                break
+            trial = ChainCandidate(chain_nodes + [nxt])
+            if trial.mfus_required() > config.mfus:
+                break
+            chain_nodes.append(nxt)
+            absorbed.add(nxt.name)
+            current = nxt
+        chains.append(ChainCandidate(chain_nodes))
+    return chains
+
+
+def cpu_fallback_nodes(graph: GirGraph) -> List[GirNode]:
+    """Operators that must run on CPU (not supported by the NPU)."""
+    return [n for n in graph.nodes() if n.op not in NPU_OPS]
+
+
+def validate_for_npu(graph: GirGraph, config: NpuConfig) -> None:
+    """Raise if any chain candidate exceeds the configuration's MFUs."""
+    for chain in fuse_chains(graph, config):
+        needed = chain.mfus_required()
+        if needed > config.mfus:
+            raise CompileError(
+                f"chain starting at {chain.nodes[0].name!r} needs "
+                f"{needed} MFUs but config has {config.mfus}")

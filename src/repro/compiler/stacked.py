@@ -1,0 +1,171 @@
+"""Stacked (multi-layer) LSTM lowering.
+
+Production speech/text models stack several recurrent layers; within a
+timestep, layer *l* consumes layer *l-1*'s fresh hidden state. The
+lowering emits each layer's chains in order per timestep, with layer 0
+fed from the network queue and the final layer's output multicast to its
+own state slot and the network.
+
+Stacks whose weights exceed one accelerator are the motivating case for
+the multi-FPGA partitioner (:mod:`repro.compiler.partition`); this
+module handles the single-accelerator case.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..config import NpuConfig
+from ..errors import CompileError
+from ..functional.executor import FunctionalSimulator
+from ..isa.memspace import MemId
+from ..isa.program import ProgramBuilder
+from ..models.lstm import LstmReference
+from .allocator import RegisterAllocator
+from .lowering import CompiledModel, _DimTracker, _padded, _vector_count
+
+
+def compile_stacked_lstm(models: Sequence[LstmReference],
+                         config: NpuConfig,
+                         name: str = "stacked_lstm") -> CompiledModel:
+    """Lower a stack of LSTM layers onto one NPU.
+
+    Layer ``l``'s input dimension must equal layer ``l-1``'s hidden
+    dimension; layer 0's input arrives from the network.
+    """
+    if not models:
+        raise CompileError("at least one layer required")
+    for lower, upper in zip(models, models[1:]):
+        if upper.input_dim != lower.hidden_dim:
+            raise CompileError(
+                f"layer input dim {upper.input_dim} != previous hidden "
+                f"dim {lower.hidden_dim}")
+
+    n = config.native_dim
+    alloc = RegisterAllocator(config)
+    layers = []
+    for l, model in enumerate(models):
+        h, x_dim = model.hidden_dim, model.input_dim
+        rows = _vector_count(h, n)
+        cols = _vector_count(h, n)
+        cols_x = _vector_count(x_dim, n)
+        entry = {
+            "model": model, "rows": rows, "cols": cols,
+            "cols_x": cols_x,
+            "W": {g: alloc.alloc_matrix(h, x_dim, f"L{l}.W_{g}")
+                  for g in ("f", "i", "o", "c")},
+            "U": {g: alloc.alloc_matrix(h, h, f"L{l}.U_{g}")
+                  for g in ("f", "i", "o", "c")},
+            "xt": (alloc.alloc(MemId.InitialVrf, cols_x, f"L{l}.xt")
+                   if l == 0 else None),
+            "h_prev": alloc.alloc(MemId.InitialVrf, cols, f"L{l}.h_prev"),
+            "ct": alloc.alloc(MemId.InitialVrf, rows, f"L{l}.ct"),
+            "bias": {g: alloc.alloc(MemId.AddSubVrf, rows, f"L{l}.b_{g}")
+                     for g in ("f", "i", "o", "c")},
+            "xw": {g: alloc.alloc(MemId.AddSubVrf, rows, f"L{l}.xW_{g}")
+                   for g in ("f", "i", "o", "c")},
+            "ft_mod": alloc.alloc(MemId.AddSubVrf, rows, f"L{l}.ft_mod"),
+            "c_prev": alloc.alloc(MemId.MultiplyVrf, rows,
+                                  f"L{l}.c_prev"),
+            "it": alloc.alloc(MemId.MultiplyVrf, rows, f"L{l}.it"),
+            "ot": alloc.alloc(MemId.MultiplyVrf, rows, f"L{l}.ot"),
+        }
+        layers.append(entry)
+
+    b = ProgramBuilder(name)
+    dims = _DimTracker(b)
+    last = len(layers) - 1
+    with b.loop("steps"):
+        for l, layer in enumerate(layers):
+            rows, cols = layer["rows"], layer["cols"]
+            cols_x = layer["cols_x"]
+            if l == 0:
+                dims.set(rows=cols_x)
+                b.v_rd(MemId.NetQ)
+                b.v_wr(MemId.InitialVrf, layer["xt"].base)
+                x_base = layer["xt"].base
+            else:
+                # Input is the fresh hidden state of the layer below.
+                x_base = layers[l - 1]["h_prev"].base
+            dims.set(rows=rows, cols=cols_x)
+            for gate in ("f", "i", "o", "c"):
+                b.v_rd(MemId.InitialVrf, x_base)
+                b.mv_mul(layer["W"][gate].base)
+                b.vv_add(layer["bias"][gate].base)
+                b.v_wr(MemId.AddSubVrf, layer["xw"][gate].base)
+            dims.set(rows=rows, cols=cols)
+            b.v_rd(MemId.InitialVrf, layer["h_prev"].base)
+            b.mv_mul(layer["U"]["f"].base)
+            b.vv_add(layer["xw"]["f"].base)
+            b.v_sigm()
+            b.vv_mul(layer["c_prev"].base)
+            b.v_wr(MemId.AddSubVrf, layer["ft_mod"].base)
+            b.v_rd(MemId.InitialVrf, layer["h_prev"].base)
+            b.mv_mul(layer["U"]["i"].base)
+            b.vv_add(layer["xw"]["i"].base)
+            b.v_sigm()
+            b.v_wr(MemId.MultiplyVrf, layer["it"].base)
+            b.v_rd(MemId.InitialVrf, layer["h_prev"].base)
+            b.mv_mul(layer["U"]["o"].base)
+            b.vv_add(layer["xw"]["o"].base)
+            b.v_sigm()
+            b.v_wr(MemId.MultiplyVrf, layer["ot"].base)
+            b.v_rd(MemId.InitialVrf, layer["h_prev"].base)
+            b.mv_mul(layer["U"]["c"].base)
+            b.vv_add(layer["xw"]["c"].base)
+            b.v_tanh()
+            b.vv_mul(layer["it"].base)
+            b.vv_add(layer["ft_mod"].base)
+            b.v_wr(MemId.MultiplyVrf, layer["c_prev"].base)
+            b.v_wr(MemId.InitialVrf, layer["ct"].base)
+            dims.set(rows=rows)
+            b.v_rd(MemId.InitialVrf, layer["ct"].base)
+            b.v_tanh()
+            b.vv_mul(layer["ot"].base)
+            b.v_wr(MemId.InitialVrf, layer["h_prev"].base)
+            if l == last:
+                b.v_wr(MemId.NetQ)
+    program = b.build()
+
+    def loader(sim: FunctionalSimulator) -> None:
+        for layer in layers:
+            model = layer["model"]
+            if not hasattr(model, "W"):
+                raise CompileError(
+                    f"{name} was compiled from shapes only (timing use)")
+            for gate in ("f", "i", "o", "c"):
+                sim.load_matrix(layer["W"][gate].base, model.W[gate])
+                sim.load_matrix(layer["U"][gate].base, model.U[gate])
+                sim.vrfs[MemId.AddSubVrf].write(
+                    layer["bias"][gate].base,
+                    _padded(model.b[gate], layer["rows"], n))
+
+    return CompiledModel(
+        name=name, kind="lstm", config=config, program=program,
+        allocator=alloc, loader=loader,
+        input_length=models[0].input_dim,
+        output_length=models[-1].hidden_dim,
+        input_vectors_per_step=layers[0]["cols_x"],
+        output_vectors_per_step=layers[-1]["rows"],
+        ops_per_step=sum(m.shape(1).ops_per_step for m in models),
+    )
+
+
+def reference_stacked_run(models: Sequence[LstmReference],
+                          xs: List[np.ndarray]) -> List[np.ndarray]:
+    """Numpy reference for a stacked LSTM (per-step outputs of the top
+    layer)."""
+    states = [(np.zeros(m.hidden_dim, dtype=np.float32),
+               np.zeros(m.hidden_dim, dtype=np.float32)) for m in models]
+    outputs = []
+    for x in xs:
+        value = np.asarray(x, dtype=np.float32)
+        for i, model in enumerate(models):
+            h, c = states[i]
+            h, c = model.step(value, h, c)
+            states[i] = (h, c)
+            value = h
+        outputs.append(value)
+    return outputs

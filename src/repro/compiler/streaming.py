@@ -1,0 +1,174 @@
+"""Weight-streaming RNN lowering: what happens *without* model pinning.
+
+The BW NPU's defining choice is pinning model weights in on-chip SRAM
+(Section I: "terabytes per second of bandwidth at low power"). This
+module lowers an LSTM the other way — weights resident in DRAM, each
+gate's tiles streamed into a staging MRF region every timestep via
+``m_rd``/``m_wr`` chains — so the pinning decision can be ablated
+quantitatively. Transfers overlap compute at gate granularity (the
+transfer of gate *g+1* runs while gate *g* computes), which is exactly
+the CNN regime of Section V-A; for memory-intensive RNNs the DRAM port
+becomes the bottleneck and per-step latency collapses to
+``weight_bytes / DRAM bandwidth``.
+
+The generated program is fully functional: the loader places quantized
+weight tiles in simulated DRAM and the program's matrix chains move them
+on chip before each use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..config import NpuConfig
+from ..errors import CompileError
+from ..functional.executor import FunctionalSimulator
+from ..isa.memspace import MemId
+from ..isa.program import ProgramBuilder
+from .allocator import RegisterAllocator
+from .lowering import (
+    CompiledModel,
+    LstmShapeOnly,
+    _DimTracker,
+    _padded,
+    _vector_count,
+)
+
+
+def compile_lstm_streamed(model, config: NpuConfig,
+                          name: str = "lstm_streamed") -> CompiledModel:
+    """Lower an LSTM with DRAM-resident weights (no pinning).
+
+    Accepts an :class:`~repro.models.lstm.LstmReference` (functional) or
+    :class:`~repro.compiler.lowering.LstmShapeOnly` (timing only). Each
+    timestep reloads all eight weight matrices through the DRAM port
+    before their ``mv_mul`` chains execute.
+    """
+    n = config.native_dim
+    h, x_dim = model.hidden_dim, model.input_dim
+    rows = _vector_count(h, n)
+    cols = _vector_count(h, n)
+    cols_x = _vector_count(x_dim, n)
+
+    alloc = RegisterAllocator(config)
+    # Staging slots on chip; the DRAM address space mirrors them.
+    mrf_slot: Dict[str, object] = {}
+    dram_base: Dict[str, int] = {}
+    next_dram = 0
+    matrices: Dict[str, Tuple[int, int]] = {}
+    for gate in ("f", "i", "o", "c"):
+        matrices[f"W_{gate}"] = (rows, cols_x)
+        matrices[f"U_{gate}"] = (rows, cols)
+    for mat, (r, c) in matrices.items():
+        mrf_slot[mat] = alloc.alloc(MemId.MatrixRf, r * c, f"stage_{mat}")
+        dram_base[mat] = next_dram
+        next_dram += r * c
+
+    ivrf_xt = alloc.alloc(MemId.InitialVrf, cols_x, "xt")
+    ivrf_h_prev = alloc.alloc(MemId.InitialVrf, cols, "h_prev")
+    ivrf_ct = alloc.alloc(MemId.InitialVrf, rows, "ct")
+    bias = {g: alloc.alloc(MemId.AddSubVrf, rows, f"b_{g}")
+            for g in ("f", "i", "o", "c")}
+    xw = {g: alloc.alloc(MemId.AddSubVrf, rows, f"xW_{g}")
+          for g in ("f", "i", "o", "c")}
+    ft_mod = alloc.alloc(MemId.AddSubVrf, rows, "ft_mod")
+    c_prev = alloc.alloc(MemId.MultiplyVrf, rows, "c_prev")
+    it = alloc.alloc(MemId.MultiplyVrf, rows, "it")
+    ot = alloc.alloc(MemId.MultiplyVrf, rows, "ot")
+
+    b = ProgramBuilder(name)
+    dims = _DimTracker(b)
+
+    def fetch(mat: str) -> None:
+        r, c = matrices[mat]
+        dims.set(rows=r, cols=c)
+        b.m_rd(MemId.Dram, dram_base[mat])
+        b.m_wr(MemId.MatrixRf, mrf_slot[mat].base)
+
+    with b.loop("steps"):
+        dims.set(rows=cols_x)
+        b.v_rd(MemId.NetQ)
+        b.v_wr(MemId.InitialVrf, ivrf_xt.base)
+        for gate in ("f", "i", "o", "c"):
+            fetch(f"W_{gate}")
+            dims.set(rows=rows, cols=cols_x)
+            b.v_rd(MemId.InitialVrf, ivrf_xt.base)
+            b.mv_mul(mrf_slot[f"W_{gate}"].base)
+            b.vv_add(bias[gate].base)
+            b.v_wr(MemId.AddSubVrf, xw[gate].base)
+        # f gate.
+        fetch("U_f")
+        dims.set(rows=rows, cols=cols)
+        b.v_rd(MemId.InitialVrf, ivrf_h_prev.base)
+        b.mv_mul(mrf_slot["U_f"].base)
+        b.vv_add(xw["f"].base)
+        b.v_sigm()
+        b.vv_mul(c_prev.base)
+        b.v_wr(MemId.AddSubVrf, ft_mod.base)
+        # i gate.
+        fetch("U_i")
+        dims.set(rows=rows, cols=cols)
+        b.v_rd(MemId.InitialVrf, ivrf_h_prev.base)
+        b.mv_mul(mrf_slot["U_i"].base)
+        b.vv_add(xw["i"].base)
+        b.v_sigm()
+        b.v_wr(MemId.MultiplyVrf, it.base)
+        # o gate.
+        fetch("U_o")
+        dims.set(rows=rows, cols=cols)
+        b.v_rd(MemId.InitialVrf, ivrf_h_prev.base)
+        b.mv_mul(mrf_slot["U_o"].base)
+        b.vv_add(xw["o"].base)
+        b.v_sigm()
+        b.v_wr(MemId.MultiplyVrf, ot.base)
+        # c gate.
+        fetch("U_c")
+        dims.set(rows=rows, cols=cols)
+        b.v_rd(MemId.InitialVrf, ivrf_h_prev.base)
+        b.mv_mul(mrf_slot["U_c"].base)
+        b.vv_add(xw["c"].base)
+        b.v_tanh()
+        b.vv_mul(it.base)
+        b.vv_add(ft_mod.base)
+        b.v_wr(MemId.MultiplyVrf, c_prev.base)
+        b.v_wr(MemId.InitialVrf, ivrf_ct.base)
+        # output.
+        dims.set(rows=rows)
+        b.v_rd(MemId.InitialVrf, ivrf_ct.base)
+        b.v_tanh()
+        b.vv_mul(ot.base)
+        b.v_wr(MemId.InitialVrf, ivrf_h_prev.base)
+        b.v_wr(MemId.NetQ)
+    program = b.build()
+
+    def loader(sim: FunctionalSimulator) -> None:
+        if not hasattr(model, "W"):
+            raise CompileError(
+                f"{name} was compiled from shapes only (timing use)")
+        helper = FunctionalSimulator(config)
+        for gate in ("f", "i", "o", "c"):
+            for prefix, weights in (("W", model.W), ("U", model.U)):
+                tiles = helper._tiles_of(weights[gate])
+                sim.dram.write_tiles(dram_base[f"{prefix}_{gate}"],
+                                     tiles)
+            sim.vrfs[MemId.AddSubVrf].write(
+                bias[gate].base, _padded(model.b[gate], rows, n))
+
+    return CompiledModel(
+        name=name, kind="lstm", config=config, program=program,
+        allocator=alloc, loader=loader,
+        input_length=x_dim, output_length=h,
+        input_vectors_per_step=cols_x, output_vectors_per_step=rows,
+        ops_per_step=model.shape(1).ops_per_step,
+    )
+
+
+def compile_lstm_streamed_shape(hidden_dim: int, config: NpuConfig,
+                                input_dim: Optional[int] = None
+                                ) -> CompiledModel:
+    """Timing-only streamed LSTM (no weights materialized)."""
+    x = input_dim if input_dim is not None else hidden_dim
+    return compile_lstm_streamed(LstmShapeOnly(hidden_dim, x), config,
+                                 name=f"lstm{hidden_dim}_streamed")

@@ -1,0 +1,118 @@
+"""Lowering the 1-D text CNN onto the NPU.
+
+Per convolution position, one chain computes the filter bank response
+and folds the global max-pool into the same pass using ``vv_max``
+against a running-maximum register: ``relu`` guarantees non-negative
+features, so a zero-initialized accumulator is the identity. After the
+position loop, a single dense chain classifies the pooled feature
+vector. The embedding lookup and time-unfolding run on the host (the
+CPU sub-graph), streaming patch vectors over the network queue.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+import numpy as np
+
+from ..config import NpuConfig
+from ..errors import CompileError
+from ..functional.executor import FunctionalSimulator
+from ..isa.memspace import MemId
+from ..isa.program import ProgramBuilder
+from ..models.textcnn import TextCnnReference
+from .allocator import RegisterAllocator
+from .lowering import CompiledModel, _DimTracker, _padded, _vector_count
+
+
+@dataclasses.dataclass
+class CompiledTextCnn(CompiledModel):
+    """A compiled text CNN with a token-level convenience API."""
+
+    model: TextCnnReference = None  # set by compile_text_cnn
+
+    def classify(self, tokens: Sequence[int],
+                 exact: bool = False) -> np.ndarray:
+        """Return class logits for one token sequence.
+
+        A fresh simulator per call keeps the max-pool accumulator (and
+        RNN-free state) clean between requests.
+        """
+        patches = self.model.patches(tokens)
+        sim = self.new_simulator(exact=exact)
+        for patch in patches:
+            self._push_padded(sim, patch)
+        sim.run(self.program, bindings={"positions": len(patches),
+                                        "steps": len(patches)})
+        vectors = sim.netq.pop_outputs()
+        flat = np.concatenate(vectors)
+        return flat[:self.model.num_classes]
+
+    def predict(self, tokens: Sequence[int], exact: bool = False) -> int:
+        return int(np.argmax(self.classify(tokens, exact=exact)))
+
+
+def compile_text_cnn(model: TextCnnReference, config: NpuConfig,
+                     name: str = "text_cnn") -> CompiledTextCnn:
+    """Lower the convolution + pool + classifier onto the NPU."""
+    n = config.native_dim
+    k, patch = model.num_filters, model.filter_width * model.embed_dim
+    rows_f = _vector_count(k, n)
+    cols_p = _vector_count(patch, n)
+    rows_o = _vector_count(model.num_classes, n)
+    cols_f = _vector_count(k, n)
+    if rows_f != cols_f:
+        # The pooled feature vector is both the conv output (rows_f
+        # entries) and the classifier input (cols_f entries); they tile
+        # identically by construction.
+        raise CompileError("internal: feature tiling mismatch")
+
+    alloc = RegisterAllocator(config)
+    conv_w = alloc.alloc_matrix(k, patch, "conv_w")
+    cls_w = alloc.alloc_matrix(model.num_classes, k, "cls_w")
+    conv_b = alloc.alloc(MemId.AddSubVrf, rows_f, "conv_b")
+    pooled = alloc.alloc(MemId.AddSubVrf, rows_f, "pooled")
+    pooled_in = alloc.alloc(MemId.InitialVrf, cols_f, "pooled_in")
+    cls_b = alloc.alloc(MemId.AddSubVrf, rows_o, "cls_b")
+
+    b = ProgramBuilder(name)
+    dims = _DimTracker(b)
+    dims.set(rows=rows_f, cols=cols_p)
+    with b.loop("positions"):
+        b.v_rd(MemId.NetQ)
+        b.mv_mul(conv_w.base)
+        b.vv_add(conv_b.base)
+        b.v_relu()
+        b.vv_max(pooled.base)
+        b.v_wr(MemId.AddSubVrf, pooled.base)
+    # Move the pooled features to the MVM input register file, then
+    # classify.
+    dims.set(rows=cols_f)
+    b.v_rd(MemId.AddSubVrf, pooled.base)
+    b.v_wr(MemId.InitialVrf, pooled_in.base)
+    dims.set(rows=rows_o, cols=cols_f)
+    b.v_rd(MemId.InitialVrf, pooled_in.base)
+    b.mv_mul(cls_w.base)
+    b.vv_add(cls_b.base)
+    b.v_wr(MemId.NetQ)
+    program = b.build()
+
+    def loader(sim: FunctionalSimulator) -> None:
+        sim.load_matrix(conv_w.base, model.conv_weights)
+        sim.load_matrix(cls_w.base, model.classifier_weights)
+        sim.vrfs[MemId.AddSubVrf].write(
+            conv_b.base, _padded(model.conv_bias, rows_f, n))
+        sim.vrfs[MemId.AddSubVrf].write(
+            cls_b.base, _padded(model.classifier_bias, rows_o, n))
+
+    compiled = CompiledTextCnn(
+        name=name, kind="conv", config=config, program=program,
+        allocator=alloc, loader=loader,
+        input_length=patch, output_length=model.num_classes,
+        input_vectors_per_step=cols_p, output_vectors_per_step=rows_o,
+        steps_binding="positions",
+        ops_per_step=2 * k * patch,
+    )
+    compiled.model = model
+    return compiled

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the Brainwave NPU reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class. Subclasses are grouped by subsystem: ISA/program
+construction, functional execution, compilation, and synthesis.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class IsaError(ReproError):
+    """An instruction or instruction chain violates the ISA rules."""
+
+
+class ChainError(IsaError):
+    """An instruction chain is malformed (ordering, chain in/out types)."""
+
+
+class ChainCapacityError(ChainError):
+    """A chain needs more function units than the configuration provides."""
+
+
+class EncodingError(IsaError):
+    """An instruction cannot be encoded/decoded in the binary format."""
+
+
+class AssemblerError(IsaError):
+    """Textual assembly could not be parsed."""
+
+
+class ExecutionError(ReproError):
+    """The functional simulator hit an illegal architectural event."""
+
+
+class MemoryError_(ExecutionError):
+    """Out-of-bounds or illegal register file / DRAM / queue access."""
+
+
+class NetworkQueueEmptyError(ExecutionError):
+    """A ``v_rd(NetQ)`` executed with no pending input vector."""
+
+
+class CompileError(ReproError):
+    """A model graph could not be lowered onto the NPU."""
+
+
+class CapacityError(CompileError):
+    """Model parameters exceed the on-chip memory of the target config."""
+
+
+class PartitionError(CompileError):
+    """A graph could not be partitioned across the available accelerators."""
+
+
+class SynthesisError(ReproError):
+    """A configuration does not fit the target FPGA device."""
+
+
+class ConfigError(ReproError):
+    """An NPU configuration is internally inconsistent."""

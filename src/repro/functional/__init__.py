@@ -1,0 +1,6 @@
+"""Functional (architectural) simulation of the BW NPU."""
+
+from .executor import ExecutionStats, FunctionalSimulator
+from . import ops
+
+__all__ = ["ExecutionStats", "FunctionalSimulator", "ops"]

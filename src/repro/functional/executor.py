@@ -1,0 +1,303 @@
+"""Functional (architectural-state) simulator of the BW NPU.
+
+Executes :class:`repro.isa.program.NpuProgram` objects against the full
+architectural state: vector register files, the matrix register file,
+DRAM, the network queues, and the scalar control registers. Mega-SIMD
+semantics follow Section IV-C: with ``rows=R`` and ``columns=C`` set, an
+``mv_mul`` treats ``R*C`` consecutive MRF entries as a tiled R·N x C·N
+matrix, the feeding ``v_rd`` reads C contiguous entries, point-wise ops
+operate on R vectors, and terminal ``v_wr`` writes R contiguous entries.
+
+Numerics model the hardware: MRF weights and MVM input vectors are
+quantized to the configured BFP format with exact accumulation, and all
+pipeline values are float16 — unless the simulator is built with
+``exact=True``, which disables quantization for structural verification.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import NpuConfig
+from ..errors import ExecutionError, MemoryError_
+from ..isa.chain import InstructionChain
+from ..isa.instructions import Instruction
+from ..isa.memspace import MemId, ScalarReg
+from ..isa.opcodes import Opcode
+from ..isa.program import NpuProgram, SetScalar
+from ..memory.dram import Dram
+from ..memory.netq import NetworkQueues
+from ..memory.regfile import MatrixRegisterFile, VectorRegisterFile
+from ..numerics.bfp import BfpFormat, quantize, to_float16
+from . import ops
+
+
+@dataclasses.dataclass
+class ExecutionStats:
+    """Dynamic execution statistics."""
+
+    chains_executed: int = 0
+    instructions_executed: int = 0
+    mv_mul_count: int = 0
+    #: Multiply-accumulate operations dispatched by mv_mul instructions.
+    macs: int = 0
+    #: FLOPs from point-wise vector operations.
+    pointwise_flops: int = 0
+
+    @property
+    def total_flops(self) -> int:
+        return 2 * self.macs + self.pointwise_flops
+
+
+class FunctionalSimulator:
+    """Architecturally accurate executor for NPU programs."""
+
+    def __init__(self, config: NpuConfig, exact: bool = False):
+        """
+        Args:
+            config: The NPU instance to simulate.
+            exact: Disable BFP/float16 quantization (float32 throughout);
+                used for structural verification against references.
+        """
+        self.config = config
+        self.exact = exact or config.mantissa_bits == 0
+        n = config.native_dim
+        self.vrfs: Dict[MemId, VectorRegisterFile] = {
+            MemId.InitialVrf: VectorRegisterFile(
+                "InitialVrf", config.initial_vrf_depth, n),
+            MemId.AddSubVrf: VectorRegisterFile(
+                "AddSubVrf", config.addsub_vrf_depth, n),
+            MemId.MultiplyVrf: VectorRegisterFile(
+                "MultiplyVrf", config.multiply_vrf_depth, n),
+        }
+        self.mrf = MatrixRegisterFile("MatrixRf", config.mrf_address_space,
+                                      n, tile_engines=config.tile_engines)
+        self.dram = Dram(native_dim=n)
+        self.netq = NetworkQueues(native_dim=n)
+        self.scalar_regs: Dict[ScalarReg, int] = {
+            ScalarReg.Rows: 1, ScalarReg.Columns: 1, ScalarReg.Iterations: 0,
+        }
+        self.stats = ExecutionStats()
+        if not self.exact:
+            self._bfp = BfpFormat(mantissa_bits=config.mantissa_bits,
+                                  exponent_bits=config.exponent_bits,
+                                  block_size=n)
+        else:
+            self._bfp = None
+
+    # -- host-facing utilities ---------------------------------------------
+
+    def load_matrix(self, base_tile: int, matrix: np.ndarray) -> int:
+        """Pin ``matrix`` into the MRF starting at ``base_tile``.
+
+        The matrix is zero-padded to native tile multiples and stored
+        row-major by tile — tile ``(r, c)`` lands at ``base_tile + r*C + c``
+        — matching ``mv_mul``'s mega-SIMD layout. Weights are quantized to
+        the configured BFP format on write (the hardware quantizes during
+        initialization from the network/DRAM). Returns the number of tile
+        slots consumed.
+
+        This is the "initialize over the network" path condensed to one
+        call; the explicit ISA path (``m_rd``/``m_wr`` chains) is also
+        supported and equivalent.
+        """
+        tiles = self._tiles_of(matrix)
+        count = tiles.shape[0]
+        self.mrf.write_tiles(base_tile, tiles)
+        return count
+
+    def _tiles_of(self, matrix: np.ndarray) -> np.ndarray:
+        n = self.config.native_dim
+        matrix = np.asarray(matrix, dtype=np.float32)
+        if matrix.ndim != 2:
+            raise ExecutionError("load_matrix expects a 2-D array")
+        rows = math.ceil(matrix.shape[0] / n)
+        cols = math.ceil(matrix.shape[1] / n)
+        padded = np.zeros((rows * n, cols * n), dtype=np.float32)
+        padded[:matrix.shape[0], :matrix.shape[1]] = matrix
+        if not self.exact:
+            padded = quantize(padded, self._bfp)
+        tiles = np.zeros((rows * cols, n, n), dtype=np.float32)
+        for r in range(rows):
+            for c in range(cols):
+                tiles[r * cols + c] = padded[r * n:(r + 1) * n,
+                                             c * n:(c + 1) * n]
+        return tiles
+
+    def load_vector(self, mem: MemId, index: int,
+                    vector: np.ndarray) -> int:
+        """Write a flat vector into a VRF, padded to native multiples.
+
+        Returns the number of VRF entries consumed.
+        """
+        n = self.config.native_dim
+        vector = np.asarray(vector, dtype=np.float32).reshape(-1)
+        count = max(1, math.ceil(vector.shape[0] / n))
+        padded = np.zeros(count * n, dtype=np.float32)
+        padded[:vector.shape[0]] = vector
+        self._vrf(mem).write(index, padded.reshape(count, n))
+        return count
+
+    def read_vector(self, mem: MemId, index: int, length: int) -> np.ndarray:
+        """Read ``length`` elements starting at VRF entry ``index``."""
+        n = self.config.native_dim
+        count = math.ceil(length / n)
+        data = self._vrf(mem).read(index, count).reshape(-1)
+        return data[:length]
+
+    def push_input(self, vector: np.ndarray) -> None:
+        """Queue a flat input vector on the network, padded and split
+        into native vectors."""
+        n = self.config.native_dim
+        vector = np.asarray(vector, dtype=np.float32).reshape(-1)
+        count = max(1, math.ceil(vector.shape[0] / n))
+        padded = np.zeros(count * n, dtype=np.float32)
+        padded[:vector.shape[0]] = vector
+        for i in range(count):
+            self.netq.push_input(padded[i * n:(i + 1) * n])
+
+    def pop_outputs_flat(self) -> np.ndarray:
+        """Drain the output queue into one flat array."""
+        outs = self.netq.pop_outputs()
+        if not outs:
+            return np.zeros(0, dtype=np.float32)
+        return np.concatenate(outs)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, program: NpuProgram,
+            bindings: Optional[Dict[str, int]] = None) -> ExecutionStats:
+        """Execute ``program`` to completion; returns dynamic stats."""
+        for event in program.events(bindings):
+            if isinstance(event, SetScalar):
+                self._set_scalar(event)
+            else:
+                self.execute_chain(event)
+        return self.stats
+
+    def _set_scalar(self, event: SetScalar) -> None:
+        if event.reg in (ScalarReg.Rows, ScalarReg.Columns) \
+                and event.value < 1:
+            raise ExecutionError(f"{event.reg.name} must be >= 1")
+        self.scalar_regs[event.reg] = event.value
+        self.stats.instructions_executed += 1
+
+    def execute_chain(self, chain: InstructionChain) -> None:
+        """Execute one instruction chain against architectural state."""
+        self.stats.chains_executed += 1
+        self.stats.instructions_executed += len(chain) + 1  # + end_chain
+        if chain.is_matrix_chain:
+            self._execute_matrix_chain(chain)
+        else:
+            self._execute_vector_chain(chain)
+
+    # -- matrix chains ------------------------------------------------------
+
+    def _execute_matrix_chain(self, chain: InstructionChain) -> None:
+        rows = self.scalar_regs[ScalarReg.Rows]
+        cols = self.scalar_regs[ScalarReg.Columns]
+        count = rows * cols
+        rd, wr = chain.instructions
+        if rd.mem_id is MemId.NetQ:
+            tiles = self.netq.pop_input_tiles(count)
+        else:
+            tiles = self.dram.read_tiles(rd.index, count)
+        if wr.mem_id is MemId.MatrixRf:
+            if not self.exact:
+                # Weights quantize at MRF initialization, per native row.
+                tiles = quantize(tiles, self._bfp)
+            self.mrf.write_tiles(wr.index, tiles)
+        else:
+            self.dram.write_tiles(wr.index, tiles)
+
+    # -- vector chains ------------------------------------------------------
+
+    def _execute_vector_chain(self, chain: InstructionChain) -> None:
+        chain.assign_function_units(self.config.mfus)  # capacity check
+        rows = self.scalar_regs[ScalarReg.Rows]
+        cols = self.scalar_regs[ScalarReg.Columns]
+        width_in = cols if chain.has_mv_mul else rows
+
+        head = chain.source
+        value = self._read_vectors(head, width_in)
+
+        for instr in chain.instructions[1:]:
+            if instr.opcode is Opcode.MV_MUL:
+                value = self._mv_mul(instr, value, rows, cols)
+            elif instr.opcode in ops.BINARY_KERNELS:
+                operand = self._pointwise_operand(instr, rows)
+                kernel = ops.BINARY_KERNELS[instr.opcode]
+                value = kernel(value, operand, exact=self.exact)
+                self.stats.pointwise_flops += value.size
+            elif instr.opcode in ops.UNARY_KERNELS:
+                kernel = ops.UNARY_KERNELS[instr.opcode]
+                value = kernel(value, exact=self.exact)
+                self.stats.pointwise_flops += value.size
+            elif instr.opcode is Opcode.V_WR:
+                self._write_vectors(instr, value)
+            else:  # pragma: no cover - chain validation prevents this
+                raise ExecutionError(f"unexpected opcode {instr.opcode}")
+
+    def _vrf(self, mem: MemId) -> VectorRegisterFile:
+        if mem not in self.vrfs:
+            raise MemoryError_(f"{mem.name} is not a vector register file")
+        return self.vrfs[mem]
+
+    def _read_vectors(self, instr: Instruction, count: int) -> np.ndarray:
+        mem = instr.mem_id
+        if mem is MemId.NetQ:
+            return self.netq.pop_input(count)
+        if mem is MemId.Dram:
+            return self.dram.read_vectors(instr.index, count)
+        return self._vrf(mem).read(instr.index, count)
+
+    def _write_vectors(self, instr: Instruction, value: np.ndarray) -> None:
+        value = np.atleast_2d(value)
+        mem = instr.mem_id
+        if mem is MemId.NetQ:
+            self.netq.push_output(value)
+        elif mem is MemId.Dram:
+            self.dram.write_vectors(instr.index, value)
+        else:
+            self._vrf(mem).write(instr.index, value)
+
+    def _pointwise_operand(self, instr: Instruction, rows: int) -> np.ndarray:
+        if instr.opcode is Opcode.VV_MUL:
+            return self._vrf(MemId.MultiplyVrf).read(instr.index, rows)
+        return self._vrf(MemId.AddSubVrf).read(instr.index, rows)
+
+    def _mv_mul(self, instr: Instruction, value: np.ndarray,
+                rows: int, cols: int) -> np.ndarray:
+        n = self.config.native_dim
+        value = np.atleast_2d(value)
+        if value.shape != (cols, n):
+            raise ExecutionError(
+                f"mv_mul expected {cols} input vector(s) of length {n}, "
+                f"got shape {value.shape}")
+        base = instr.index
+        if base + rows * cols > self.config.mrf_address_space:
+            raise MemoryError_(
+                f"mv_mul tile window [{base}, {base + rows * cols}) "
+                f"exceeds MRF address space "
+                f"{self.config.mrf_address_space}")
+        if self.exact:
+            inputs = value.astype(np.float64)
+        else:
+            # The MVM quantizes its input vector at the native-block level;
+            # weights were quantized when written into the MRF.
+            inputs = quantize(value, self._bfp).astype(np.float64)
+        out = np.zeros((rows, n), dtype=np.float64)
+        for r in range(rows):
+            acc = np.zeros(n, dtype=np.float64)
+            for c in range(cols):
+                tile = self.mrf.read_tile(base + r * cols + c)
+                acc += tile.astype(np.float64) @ inputs[c]
+            out[r] = acc
+        self.stats.mv_mul_count += 1
+        self.stats.macs += rows * cols * n * n
+        result = out.astype(np.float32)
+        return result if self.exact else to_float16(result)

@@ -1,0 +1,122 @@
+"""Binary encoding of the BW NPU ISA.
+
+Instructions encode into one 32-bit word each:
+
+====== ======== =====================================================
+bits    width    field
+====== ======== =====================================================
+31..27  5        opcode
+26      1        operand2-present flag (NetQ accesses carry no index)
+25..13  13       operand1 (MemId, ScalarReg, or MRF/VRF index)
+12..0   13       operand2 (memory index or scalar immediate)
+====== ======== =====================================================
+
+Instruction streams serialize to bytes with a small header carrying a
+magic number and version so decoders can reject foreign data.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Sequence
+
+from ..errors import EncodingError
+from .instructions import Instruction
+from .memspace import MemId, ScalarReg
+from .opcodes import Opcode, OperandKind, info
+
+_OPCODE_SHIFT = 27
+_FLAG_SHIFT = 26
+_OP1_SHIFT = 13
+_OP1_MASK = (1 << 13) - 1
+_OP2_MASK = (1 << 13) - 1
+
+#: Maximum encodable index / immediate value.
+MAX_OPERAND = _OP1_MASK
+
+#: Stream header magic ("BWNP") and format version.
+STREAM_MAGIC = 0x42574E50
+STREAM_VERSION = 1
+
+
+def encode(instr: Instruction) -> int:
+    """Encode one instruction into a 32-bit word."""
+    meta = instr.info
+    word = int(instr.opcode) << _OPCODE_SHIFT
+
+    op1 = 0
+    if meta.operand1 is not OperandKind.NONE:
+        op1 = int(instr.operand1)
+        if not 0 <= op1 <= MAX_OPERAND:
+            raise EncodingError(
+                f"{meta.mnemonic}: operand1 {op1} exceeds {MAX_OPERAND}")
+    word |= op1 << _OP1_SHIFT
+
+    if meta.operand2 is not OperandKind.NONE and instr.operand2 is not None:
+        op2 = int(instr.operand2)
+        if not 0 <= op2 <= MAX_OPERAND:
+            raise EncodingError(
+                f"{meta.mnemonic}: operand2 {op2} exceeds {MAX_OPERAND}")
+        word |= (1 << _FLAG_SHIFT) | op2
+    return word
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word back into an :class:`Instruction`."""
+    if not 0 <= word < (1 << 32):
+        raise EncodingError(f"word {word:#x} is not a 32-bit value")
+    opcode_value = word >> _OPCODE_SHIFT
+    try:
+        opcode = Opcode(opcode_value)
+    except ValueError as exc:
+        raise EncodingError(f"unknown opcode {opcode_value}") from exc
+    meta = info(opcode)
+
+    raw1 = (word >> _OP1_SHIFT) & _OP1_MASK
+    has_op2 = bool((word >> _FLAG_SHIFT) & 1)
+    raw2 = word & _OP2_MASK
+
+    operand1 = None
+    if meta.operand1 is OperandKind.MEM_ID:
+        try:
+            operand1 = MemId(raw1)
+        except ValueError as exc:
+            raise EncodingError(f"invalid MemId {raw1}") from exc
+    elif meta.operand1 is OperandKind.SCALAR_REG:
+        try:
+            operand1 = ScalarReg(raw1)
+        except ValueError as exc:
+            raise EncodingError(f"invalid ScalarReg {raw1}") from exc
+    elif meta.operand1 is not OperandKind.NONE:
+        operand1 = raw1
+
+    operand2 = None
+    if meta.operand2 is not OperandKind.NONE and has_op2:
+        operand2 = raw2
+
+    return Instruction(opcode, operand1, operand2)
+
+
+def encode_stream(instructions: Iterable[Instruction]) -> bytes:
+    """Serialize an instruction stream to bytes (header + words)."""
+    words = [encode(i) for i in instructions]
+    header = struct.pack(">III", STREAM_MAGIC, STREAM_VERSION, len(words))
+    return header + struct.pack(f">{len(words)}I", *words)
+
+
+def decode_stream(data: bytes) -> List[Instruction]:
+    """Deserialize bytes produced by :func:`encode_stream`."""
+    if len(data) < 12:
+        raise EncodingError("stream too short for header")
+    magic, version, count = struct.unpack(">III", data[:12])
+    if magic != STREAM_MAGIC:
+        raise EncodingError(f"bad magic {magic:#x}")
+    if version != STREAM_VERSION:
+        raise EncodingError(f"unsupported stream version {version}")
+    expected = 12 + 4 * count
+    if len(data) != expected:
+        raise EncodingError(
+            f"stream length {len(data)} does not match header "
+            f"({expected} expected)")
+    words: Sequence[int] = struct.unpack(f">{count}I", data[12:])
+    return [decode(w) for w in words]

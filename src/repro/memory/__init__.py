@@ -1,0 +1,8 @@
+"""On-chip and off-chip memory structures of the BW NPU."""
+
+from .regfile import MatrixRegisterFile, VectorRegisterFile
+from .dram import Dram
+from .netq import NetworkQueues
+
+__all__ = ["MatrixRegisterFile", "VectorRegisterFile", "Dram",
+           "NetworkQueues"]

@@ -1,0 +1,150 @@
+"""Register files: the independently addressable on-chip memories.
+
+The BW NPU pins model state in distributed SRAM (Section V-A): vector
+register files (VRFs) hold native vectors; the matrix register file (MRF)
+holds native N x N weight tiles, banked per tile engine and sub-banked per
+row so every multiplier has a dedicated read port. The functional
+simulator uses these classes for architectural state; the banking
+structure is exposed for the timing model and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import MemoryError_
+
+
+class VectorRegisterFile:
+    """A register file of ``depth`` native vectors of length ``native_dim``."""
+
+    def __init__(self, name: str, depth: int, native_dim: int):
+        if depth <= 0 or native_dim <= 0:
+            raise MemoryError_("depth and native_dim must be positive")
+        self.name = name
+        self.depth = depth
+        self.native_dim = native_dim
+        self._data = np.zeros((depth, native_dim), dtype=np.float32)
+        self.reads = 0
+        self.writes = 0
+
+    def _check(self, index: int, count: int) -> None:
+        if count <= 0:
+            raise MemoryError_(f"{self.name}: count must be positive")
+        if index < 0 or index + count > self.depth:
+            raise MemoryError_(
+                f"{self.name}: access [{index}, {index + count}) out of "
+                f"range (depth {self.depth})")
+
+    def read(self, index: int, count: int = 1) -> np.ndarray:
+        """Read ``count`` consecutive vectors; returns shape (count, N)."""
+        self._check(index, count)
+        self.reads += count
+        return self._data[index:index + count].copy()
+
+    def write(self, index: int, vectors: np.ndarray) -> None:
+        """Write one or more consecutive vectors starting at ``index``."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+        if vectors.shape[1] != self.native_dim:
+            raise MemoryError_(
+                f"{self.name}: vector length {vectors.shape[1]} != native "
+                f"dimension {self.native_dim}")
+        count = vectors.shape[0]
+        self._check(index, count)
+        self.writes += count
+        self._data[index:index + count] = vectors
+
+    def clear(self) -> None:
+        self._data.fill(0.0)
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._data.nbytes
+
+
+class MatrixRegisterFile:
+    """The MRF: ``capacity`` native N x N tiles of model weights.
+
+    Section V-A: the MRF is banked by native tiles across tile engines and
+    sub-banked by rows; :meth:`bank_of` and :meth:`subbank_of` expose that
+    geometry for the timing model and for tests of the port-scaling
+    property (one SRAM read port per multiplier).
+    """
+
+    def __init__(self, name: str, capacity: int, native_dim: int,
+                 tile_engines: int = 1):
+        if capacity <= 0 or native_dim <= 0 or tile_engines <= 0:
+            raise MemoryError_(
+                "capacity, native_dim and tile_engines must be positive")
+        self.name = name
+        self.capacity = capacity
+        self.native_dim = native_dim
+        self.tile_engines = tile_engines
+        self._tiles = np.zeros((capacity, native_dim, native_dim),
+                               dtype=np.float32)
+        self.reads = 0
+        self.writes = 0
+
+    def _check(self, index: int, count: int = 1) -> None:
+        if count <= 0:
+            raise MemoryError_(f"{self.name}: count must be positive")
+        if index < 0 or index + count > self.capacity:
+            raise MemoryError_(
+                f"{self.name}: tile access [{index}, {index + count}) out "
+                f"of range (capacity {self.capacity})")
+
+    def read_tile(self, index: int) -> np.ndarray:
+        self._check(index)
+        self.reads += 1
+        return self._tiles[index].copy()
+
+    def read_tiles(self, index: int, count: int) -> np.ndarray:
+        self._check(index, count)
+        self.reads += count
+        return self._tiles[index:index + count].copy()
+
+    def write_tile(self, index: int, tile: np.ndarray) -> None:
+        tile = np.asarray(tile, dtype=np.float32)
+        if tile.shape != (self.native_dim, self.native_dim):
+            raise MemoryError_(
+                f"{self.name}: tile shape {tile.shape} != "
+                f"({self.native_dim}, {self.native_dim})")
+        self._check(index)
+        self.writes += 1
+        self._tiles[index] = tile
+
+    def write_tiles(self, index: int, tiles: np.ndarray) -> None:
+        tiles = np.asarray(tiles, dtype=np.float32)
+        if tiles.ndim != 3 or tiles.shape[1:] != (self.native_dim,
+                                                  self.native_dim):
+            raise MemoryError_(f"{self.name}: bad tile group shape "
+                               f"{tiles.shape}")
+        self._check(index, tiles.shape[0])
+        self.writes += tiles.shape[0]
+        self._tiles[index:index + tiles.shape[0]] = tiles
+
+    def bank_of(self, index: int) -> int:
+        """Tile-engine bank holding tile ``index`` (round-robin banking)."""
+        self._check(index)
+        return index % self.tile_engines
+
+    def subbank_of(self, index: int, row: int) -> int:
+        """Row sub-bank: row ``row`` of every tile lives in sub-bank
+        ``row`` of its bank (feeding dot-product engine ``row``)."""
+        self._check(index)
+        if not 0 <= row < self.native_dim:
+            raise MemoryError_(f"{self.name}: row {row} out of range")
+        return row
+
+    def read_ports(self, lanes: int) -> int:
+        """Total dedicated SRAM read ports: one per multiplier."""
+        return self.tile_engines * self.native_dim * lanes
+
+    def clear(self) -> None:
+        self._tiles.fill(0.0)
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._tiles.nbytes

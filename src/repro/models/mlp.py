@@ -1,0 +1,88 @@
+"""Reference dense multi-layer perceptron in numpy.
+
+MLPs are one of the memory-intensive model classes (with RNNs) that the
+BW NPU's L2 matrix-vector focus targets (Section IV-B).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+_ACTIVATIONS = {
+    "relu": lambda x: np.maximum(x, 0.0),
+    "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-x.astype(np.float64))),
+    "tanh": lambda x: np.tanh(x.astype(np.float64)),
+    "linear": lambda x: x,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class MlpShape:
+    """Static shape metadata for an MLP."""
+
+    layer_dims: tuple  # (input, hidden..., output)
+
+    @property
+    def matmul_ops(self) -> int:
+        return sum(2 * self.layer_dims[i] * self.layer_dims[i + 1]
+                   for i in range(len(self.layer_dims) - 1))
+
+    @property
+    def pointwise_ops(self) -> int:
+        return sum(2 * d for d in self.layer_dims[1:])  # bias + activation
+
+    @property
+    def total_ops(self) -> int:
+        return self.matmul_ops + self.pointwise_ops
+
+    @property
+    def parameter_count(self) -> int:
+        return sum(self.layer_dims[i] * self.layer_dims[i + 1]
+                   + self.layer_dims[i + 1]
+                   for i in range(len(self.layer_dims) - 1))
+
+    def data_bytes(self, bits_per_element: float) -> float:
+        return self.parameter_count * bits_per_element / 8
+
+
+class MlpReference:
+    """A concrete MLP with materialized weights."""
+
+    def __init__(self, layer_dims: Sequence[int],
+                 activation: str = "relu",
+                 output_activation: str = "linear",
+                 seed: int = 0, scale: float = 0.2):
+        if len(layer_dims) < 2:
+            raise ValueError("an MLP needs at least input and output dims")
+        if activation not in _ACTIVATIONS or \
+                output_activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation; choose from "
+                             f"{sorted(_ACTIVATIONS)}")
+        self.layer_dims = tuple(int(d) for d in layer_dims)
+        self.activation = activation
+        self.output_activation = output_activation
+        rng = np.random.default_rng(seed)
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        for i in range(len(self.layer_dims) - 1):
+            self.weights.append(rng.uniform(
+                -scale, scale, (self.layer_dims[i + 1], self.layer_dims[i])
+            ).astype(np.float32))
+            self.biases.append(rng.uniform(
+                -scale, scale, self.layer_dims[i + 1]).astype(np.float32))
+
+    def shape(self) -> MlpShape:
+        return MlpShape(self.layer_dims)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the MLP on a single input vector."""
+        value = np.asarray(x, dtype=np.float32)
+        last = len(self.weights) - 1
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            value = w @ value + b
+            name = self.output_activation if i == last else self.activation
+            value = _ACTIVATIONS[name](value).astype(np.float32)
+        return value

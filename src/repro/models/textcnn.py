@@ -1,0 +1,116 @@
+"""A 1-D text CNN: embedding, convolution over time, max-pool, classify.
+
+The paper's ISA "has evolved to accommodate ... 1D (text) CNNs [and]
+word/character embeddings" (Section IV-C). This reference model is the
+classic text-classification CNN: token embeddings, a bank of width-k
+1-D convolution filters over the sequence, ReLU, global max-pooling over
+time, and a dense classifier. The embedding lookup runs on the CPU (a
+gather is not profitable on the NPU — it lands in the CPU sub-graph of
+the federated runtime); everything downstream lowers onto the NPU.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class TextCnnShape:
+    """Static shape metadata."""
+
+    vocab_size: int
+    embed_dim: int
+    filter_width: int
+    num_filters: int
+    num_classes: int
+    sequence_length: int
+
+    @property
+    def conv_positions(self) -> int:
+        return self.sequence_length - self.filter_width + 1
+
+    @property
+    def patch_length(self) -> int:
+        return self.filter_width * self.embed_dim
+
+    @property
+    def conv_ops(self) -> int:
+        return 2 * self.conv_positions * self.num_filters \
+            * self.patch_length
+
+    @property
+    def classifier_ops(self) -> int:
+        return 2 * self.num_classes * self.num_filters
+
+    @property
+    def total_ops(self) -> int:
+        return self.conv_ops + self.classifier_ops
+
+
+class TextCnnReference:
+    """A concrete text CNN with materialized weights."""
+
+    def __init__(self, vocab_size: int, embed_dim: int,
+                 filter_width: int, num_filters: int, num_classes: int,
+                 seed: int = 0, scale: float = 0.2):
+        if filter_width < 1:
+            raise ValueError("filter_width must be >= 1")
+        self.vocab_size = vocab_size
+        self.embed_dim = embed_dim
+        self.filter_width = filter_width
+        self.num_filters = num_filters
+        self.num_classes = num_classes
+        rng = np.random.default_rng(seed)
+        self.embeddings = rng.uniform(
+            -scale, scale, (vocab_size, embed_dim)).astype(np.float32)
+        self.conv_weights = rng.uniform(
+            -scale, scale,
+            (num_filters, filter_width * embed_dim)).astype(np.float32)
+        self.conv_bias = rng.uniform(
+            -scale, scale, num_filters).astype(np.float32)
+        self.classifier_weights = rng.uniform(
+            -scale, scale, (num_classes, num_filters)).astype(np.float32)
+        self.classifier_bias = rng.uniform(
+            -scale, scale, num_classes).astype(np.float32)
+
+    def shape(self, sequence_length: int) -> TextCnnShape:
+        return TextCnnShape(self.vocab_size, self.embed_dim,
+                            self.filter_width, self.num_filters,
+                            self.num_classes, sequence_length)
+
+    def embed(self, tokens: Sequence[int]) -> np.ndarray:
+        """Embedding lookup (the CPU sub-graph): (T, embed_dim)."""
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 1 or len(tokens) < self.filter_width:
+            raise ValueError(
+                f"need a 1-D token sequence of length >= "
+                f"{self.filter_width}")
+        if tokens.min() < 0 or tokens.max() >= self.vocab_size:
+            raise ValueError("token id out of vocabulary range")
+        return self.embeddings[tokens]
+
+    def patches(self, tokens: Sequence[int]) -> np.ndarray:
+        """im2col over time: (positions, filter_width * embed_dim)."""
+        embedded = self.embed(tokens)
+        positions = embedded.shape[0] - self.filter_width + 1
+        out = np.zeros((positions, self.filter_width * self.embed_dim),
+                       dtype=np.float32)
+        for p in range(positions):
+            out[p] = embedded[p:p + self.filter_width].reshape(-1)
+        return out
+
+    def forward(self, tokens: Sequence[int]) -> np.ndarray:
+        """Logits for one token sequence."""
+        patches = self.patches(tokens)
+        features = np.maximum(
+            patches @ self.conv_weights.T + self.conv_bias, 0.0)
+        pooled = features.max(axis=0)
+        return (self.classifier_weights @ pooled
+                + self.classifier_bias).astype(np.float32)
+
+    def predict(self, tokens: Sequence[int]) -> int:
+        """Predicted class index."""
+        return int(np.argmax(self.forward(tokens)))

@@ -1,0 +1,28 @@
+"""Narrow-precision numerics: block floating point and float16 helpers."""
+
+from .bfp import (
+    MSFP_CNN,
+    MSFP_RNN,
+    BfpFormat,
+    bfp_dot,
+    block_exponents,
+    quantization_step,
+    quantize,
+    quantize_with_info,
+    to_float16,
+)
+from .analysis import (
+    ErrorStats,
+    error_stats,
+    expected_snr_db,
+    mantissa_sweep,
+    matvec_stats,
+    quantization_stats,
+)
+
+__all__ = [
+    "BfpFormat", "MSFP_RNN", "MSFP_CNN", "bfp_dot", "block_exponents",
+    "quantization_step", "quantize", "quantize_with_info", "to_float16",
+    "ErrorStats", "error_stats", "expected_snr_db", "mantissa_sweep",
+    "matvec_stats", "quantization_stats",
+]

@@ -1,0 +1,154 @@
+"""Block floating-point (BFP) numerics (paper Section VI).
+
+The BW NPU uses a narrow-precision block floating-point format that shares
+a 5-bit exponent across a group of numbers at the native vector level —
+"a single 5-bit exponent per 128 independent signs and mantissas". Only
+dot products see BFP quantization noise; secondary point-wise operations
+execute as float16.
+
+:class:`BfpFormat` describes one format instance (``1s.5e.2m`` in the
+paper's notation); :func:`quantize` rounds an array to the format,
+returning exactly-representable float32 values so the rest of the
+simulator can use ordinary numpy arithmetic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+@dataclasses.dataclass(frozen=True)
+class BfpFormat:
+    """A block floating-point format: 1 sign, shared exponent, mantissa.
+
+    Attributes:
+        mantissa_bits: Magnitude bits per element (2-5 in the paper).
+        exponent_bits: Width of the shared exponent field.
+        block_size: Elements sharing one exponent (the native dimension).
+    """
+
+    mantissa_bits: int
+    exponent_bits: int = 5
+    block_size: int = 128
+
+    def __post_init__(self) -> None:
+        if self.mantissa_bits < 1:
+            raise ConfigError("mantissa_bits must be >= 1")
+        if self.exponent_bits < 2:
+            raise ConfigError("exponent_bits must be >= 2")
+        if self.block_size < 1:
+            raise ConfigError("block_size must be >= 1")
+
+    @property
+    def exponent_bias(self) -> int:
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def min_exponent(self) -> int:
+        return -self.exponent_bias
+
+    @property
+    def max_exponent(self) -> int:
+        return (1 << self.exponent_bits) - 1 - self.exponent_bias
+
+    @property
+    def max_mantissa(self) -> int:
+        return (1 << self.mantissa_bits) - 1
+
+    @property
+    def bits_per_element(self) -> float:
+        """Average storage cost per element, amortizing the exponent."""
+        return 1 + self.mantissa_bits + self.exponent_bits / self.block_size
+
+    @property
+    def name(self) -> str:
+        return f"1s.{self.exponent_bits}e.{self.mantissa_bits}m"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _block_view(x: np.ndarray, block_size: int) -> np.ndarray:
+    """Reshape the trailing axis into blocks; the length must divide."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape[-1] % block_size != 0:
+        raise ValueError(
+            f"last axis ({x.shape[-1]}) must be a multiple of the block "
+            f"size ({block_size}); pad to the native dimension first")
+    return x.reshape(x.shape[:-1] + (x.shape[-1] // block_size, block_size))
+
+
+def block_exponents(x: np.ndarray, fmt: BfpFormat) -> np.ndarray:
+    """Shared exponent chosen for each block of ``x``.
+
+    The exponent is ``floor(log2(max |x|))`` clamped to the format's
+    exponent range; all-zero blocks use the minimum exponent.
+    """
+    blocks = _block_view(x, fmt.block_size)
+    amax = np.max(np.abs(blocks), axis=-1)
+    with np.errstate(divide="ignore"):
+        exponents = np.floor(np.log2(amax, where=amax > 0,
+                                     out=np.full_like(amax, -np.inf)))
+    exponents = np.where(amax > 0, exponents, fmt.min_exponent)
+    return np.clip(exponents, fmt.min_exponent, fmt.max_exponent).astype(int)
+
+
+def quantize_with_info(
+        x: np.ndarray, fmt: BfpFormat) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Quantize ``x`` to BFP, returning (values, mantissas, exponents).
+
+    ``values`` are the dequantized float32 numbers (exactly representable),
+    ``mantissas`` the signed integer mantissas, and ``exponents`` the
+    per-block shared exponents.
+    """
+    original_shape = np.asarray(x).shape
+    blocks = _block_view(x, fmt.block_size)
+    exponents = block_exponents(x, fmt)
+    # Element scale: value = mantissa * 2^(E - mantissa_bits + 1).
+    scale = np.exp2(exponents - fmt.mantissa_bits + 1)[..., np.newaxis]
+    mantissas = np.rint(blocks / scale)
+    mantissas = np.clip(mantissas, -fmt.max_mantissa, fmt.max_mantissa)
+    values = (mantissas * scale).reshape(original_shape).astype(np.float32)
+    return values, mantissas.astype(np.int64).reshape(original_shape), exponents
+
+
+def quantize(x: np.ndarray, fmt: BfpFormat) -> np.ndarray:
+    """Quantize ``x`` to BFP and return the dequantized float32 array."""
+    values, _, _ = quantize_with_info(x, fmt)
+    return values
+
+
+def quantization_step(fmt: BfpFormat, exponent: int) -> float:
+    """The representable spacing for a block with the given exponent."""
+    return math.ldexp(1.0, exponent - fmt.mantissa_bits + 1)
+
+
+def bfp_dot(a: np.ndarray, b: np.ndarray, fmt: BfpFormat) -> np.ndarray:
+    """Dot product with both operands quantized to ``fmt``.
+
+    Models the MVM datapath: operands are BFP-quantized, products and the
+    accumulation tree are exact (integer mantissa arithmetic in hardware;
+    float64 here), and the result is delivered to the vector pipeline as
+    float16 — the paper's "secondary operations still execute as float16".
+    """
+    qa = quantize(a, fmt).astype(np.float64)
+    qb = quantize(b, fmt).astype(np.float64)
+    return np.float16(qa @ qb)
+
+
+def to_float16(x: np.ndarray) -> np.ndarray:
+    """Round to float16 and return as float32 (the pipeline word type)."""
+    return np.asarray(x, dtype=np.float16).astype(np.float32)
+
+
+#: The RNN production format used by BW_S10 (Table IV).
+MSFP_RNN = BfpFormat(mantissa_bits=2, exponent_bits=5, block_size=128)
+
+#: The CNN format used by BW_CNN_A10 (Table VI).
+MSFP_CNN = BfpFormat(mantissa_bits=5, exponent_bits=5, block_size=128)

@@ -1,0 +1,56 @@
+"""FPGA device library (the three generations of Table III).
+
+Device resource totals are reconstructed from the paper's Table III usage
+percentages (e.g. BW_S10 uses 845,719 ALMs = 91% of a Stratix 10 280) and
+match Intel's published device tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+
+@dataclasses.dataclass(frozen=True)
+class FpgaDevice:
+    """One FPGA device: resource totals and family traits."""
+
+    name: str
+    family: str
+    alms: int
+    m20ks: int
+    dsps: int
+    #: Nominal BW NPU clock on this family (Table III).
+    clock_mhz: float
+    #: M20K block geometry (bits, max port width).
+    m20k_bits: int = 20480
+    m20k_width: int = 40
+
+    @property
+    def m20k_depth(self) -> int:
+        return self.m20k_bits // self.m20k_width
+
+
+STRATIX_V_D5 = FpgaDevice(
+    name="Stratix V D5", family="stratix5",
+    alms=172600, m20ks=2014, dsps=1590, clock_mhz=200.0)
+
+ARRIA_10_1150 = FpgaDevice(
+    name="Arria 10 1150", family="arria10",
+    alms=427200, m20ks=2713, dsps=1518, clock_mhz=300.0)
+
+STRATIX_10_280 = FpgaDevice(
+    name="Stratix 10 280", family="stratix10",
+    alms=933120, m20ks=11721, dsps=5760, clock_mhz=250.0)
+
+DEVICES: Dict[str, FpgaDevice] = {
+    d.name: d for d in (STRATIX_V_D5, ARRIA_10_1150, STRATIX_10_280)
+}
+
+
+def device_by_name(name: str) -> FpgaDevice:
+    """Look up a device; raises ``KeyError`` with the catalogue on miss."""
+    if name not in DEVICES:
+        raise KeyError(
+            f"unknown device {name!r}; available: {sorted(DEVICES)}")
+    return DEVICES[name]

@@ -1,0 +1,36 @@
+"""Datacenter-scale serving: network, microservices, federated runtime."""
+
+from .network import Locality, NetworkModel
+from .microservice import (
+    FpgaNode,
+    HardwareMicroservice,
+    InvocationResult,
+    MicroserviceRegistry,
+    ServiceError,
+)
+from .loadgen import (
+    Batch1Server,
+    BatchingServer,
+    LoadResult,
+    ServedRequest,
+    SloComparison,
+    compare_under_load,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+from .runtime import (
+    BidirectionalRnnService,
+    CpuStage,
+    FederatedRuntime,
+    FpgaStage,
+    PlanResult,
+)
+
+__all__ = [
+    "Locality", "NetworkModel", "FpgaNode", "HardwareMicroservice",
+    "InvocationResult", "MicroserviceRegistry", "ServiceError",
+    "BidirectionalRnnService", "CpuStage", "FederatedRuntime",
+    "FpgaStage", "PlanResult", "Batch1Server", "BatchingServer",
+    "LoadResult", "ServedRequest", "SloComparison",
+    "compare_under_load", "poisson_arrivals", "uniform_arrivals",
+]

@@ -1,0 +1,196 @@
+"""Request-level serving simulation: latency under load.
+
+The paper's motivation (Section I): "in an online inference setting,
+requests often arrive one at a time; a throughput architecture must
+either process these requests individually, leading to reduced
+throughput while still sustaining batch-equivalent latency, or incur
+increased latency by waiting for multiple request arrivals to form a
+batch." This module makes that argument quantitative: a discrete-event
+simulation of Poisson request arrivals against
+
+* a **batch-1 server** (the BW NPU: one request at a time, fixed
+  service time), and
+* a **batching server** (the GPU serving stack: requests queue until
+  ``max_batch`` accumulate or the oldest waits ``timeout``; a batch of
+  size b takes ``batch_service_time(b)``),
+
+reporting the latency distribution each sustains at a given arrival
+rate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+class LoadError(ReproError):
+    """Invalid load-generation parameters."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ServedRequest:
+    """One request's lifecycle timestamps (seconds)."""
+
+    arrival: float
+    start: float
+    finish: float
+
+    @property
+    def latency(self) -> float:
+        return self.finish - self.arrival
+
+    @property
+    def queue_wait(self) -> float:
+        return self.start - self.arrival
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadResult:
+    """Latency statistics of one simulation."""
+
+    requests: List[ServedRequest]
+
+    def percentile_latency(self, q: float) -> float:
+        if not self.requests:
+            raise LoadError("no requests served")
+        return float(np.percentile([r.latency for r in self.requests],
+                                   q))
+
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile_latency(50) * 1e3
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile_latency(99) * 1e3
+
+    @property
+    def mean_ms(self) -> float:
+        return 1e3 * float(np.mean([r.latency for r in self.requests]))
+
+    @property
+    def throughput_rps(self) -> float:
+        span = self.requests[-1].finish - self.requests[0].arrival
+        return len(self.requests) / span if span > 0 else float("inf")
+
+
+def poisson_arrivals(rate_rps: float, count: int,
+                     seed: int = 0) -> List[float]:
+    """Arrival times of a Poisson process at ``rate_rps``."""
+    if rate_rps <= 0 or count < 1:
+        raise LoadError("rate and count must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_rps, count)
+    return list(np.cumsum(gaps))
+
+
+def uniform_arrivals(rate_rps: float, count: int) -> List[float]:
+    """Deterministic equally-spaced arrivals (for tests)."""
+    if rate_rps <= 0 or count < 1:
+        raise LoadError("rate and count must be positive")
+    return [(i + 1) / rate_rps for i in range(count)]
+
+
+class Batch1Server:
+    """One request at a time at a fixed service time — the BW regime."""
+
+    def __init__(self, service_time_s: float):
+        if service_time_s <= 0:
+            raise LoadError("service time must be positive")
+        self.service_time_s = service_time_s
+
+    @property
+    def capacity_rps(self) -> float:
+        return 1.0 / self.service_time_s
+
+    def simulate(self, arrivals: Sequence[float]) -> LoadResult:
+        served: List[ServedRequest] = []
+        free_at = 0.0
+        for arrival in arrivals:
+            start = max(arrival, free_at)
+            finish = start + self.service_time_s
+            free_at = finish
+            served.append(ServedRequest(arrival, start, finish))
+        return LoadResult(served)
+
+
+class BatchingServer:
+    """Forms batches up to ``max_batch``, waiting at most ``timeout_s``
+    for stragglers — the GPU serving-stack regime."""
+
+    def __init__(self, batch_service_time: Callable[[int], float],
+                 max_batch: int, timeout_s: float):
+        if max_batch < 1:
+            raise LoadError("max_batch must be >= 1")
+        if timeout_s < 0:
+            raise LoadError("timeout must be non-negative")
+        self.batch_service_time = batch_service_time
+        self.max_batch = max_batch
+        self.timeout_s = timeout_s
+
+    def capacity_rps(self) -> float:
+        """Throughput ceiling at full batches."""
+        return self.max_batch / self.batch_service_time(self.max_batch)
+
+    def simulate(self, arrivals: Sequence[float]) -> LoadResult:
+        arrivals = sorted(arrivals)
+        served: List[ServedRequest] = []
+        free_at = 0.0
+        i = 0
+        n = len(arrivals)
+        while i < n:
+            # The server considers dispatch once it is free and at
+            # least one request is waiting.
+            head = max(arrivals[i], free_at)
+            deadline = max(arrivals[i] + self.timeout_s, head)
+            # Requests arriving by the deadline may join, up to
+            # max_batch; a full batch dispatches immediately.
+            j = i
+            dispatch_at = deadline
+            while j < n and j - i < self.max_batch \
+                    and arrivals[j] <= deadline:
+                j += 1
+            if j - i == self.max_batch:
+                dispatch_at = max(arrivals[j - 1], head)
+            batch = arrivals[i:j]
+            start = max(dispatch_at, free_at)
+            finish = start + self.batch_service_time(len(batch))
+            free_at = finish
+            for arrival in batch:
+                served.append(ServedRequest(arrival, start, finish))
+            i = j
+        return LoadResult(served)
+
+
+@dataclasses.dataclass(frozen=True)
+class SloComparison:
+    """One arrival-rate point of the BW-vs-GPU serving comparison."""
+
+    rate_rps: float
+    bw: LoadResult
+    gpu: LoadResult
+
+
+def compare_under_load(bw_service_s: float,
+                       gpu_batch_service: Callable[[int], float],
+                       max_batch: int, timeout_s: float,
+                       rates_rps: Sequence[float],
+                       requests: int = 2000,
+                       seed: int = 0) -> List[SloComparison]:
+    """Simulate both serving stacks across arrival rates."""
+    bw_server = Batch1Server(bw_service_s)
+    gpu_server = BatchingServer(gpu_batch_service, max_batch, timeout_s)
+    out = []
+    for rate in rates_rps:
+        arrivals = poisson_arrivals(rate, requests, seed=seed)
+        out.append(SloComparison(
+            rate_rps=rate,
+            bw=bw_server.simulate(arrivals),
+            gpu=gpu_server.simulate(arrivals)))
+    return out

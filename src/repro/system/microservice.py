@@ -1,0 +1,144 @@
+"""Hardware microservices: pooled FPGAs served over the network.
+
+Section II-A: accelerators are "logically disaggregated and pooled into
+instances of hardware microservices with no software in the loop",
+registered with a resource manager and addressed directly by IP.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..compiler.lowering import CompiledModel
+from ..errors import ReproError
+from ..timing.scheduler import TimingSimulator
+from .network import Locality, NetworkModel
+
+
+class ServiceError(ReproError):
+    """Microservice registration/lookup failure."""
+
+
+_ip_counter = itertools.count(1)
+
+
+@dataclasses.dataclass
+class FpgaNode:
+    """One network-attached FPGA hosting a compiled model."""
+
+    name: str
+    compiled: CompiledModel
+    locality: Locality = Locality.SAME_RACK
+
+    def __post_init__(self) -> None:
+        self.ip_address = f"10.0.{next(_ip_counter) // 256}." \
+                          f"{next(_ip_counter) % 256}"
+        self._timing = TimingSimulator(self.compiled.config)
+
+    def compute_latency_s(self, steps: int) -> float:
+        """NPU compute latency for a ``steps``-step invocation."""
+        report = self._timing.run(
+            self.compiled.program,
+            bindings={self.compiled.steps_binding: steps},
+            nominal_ops=self.compiled.ops_per_step * steps)
+        return report.latency_s
+
+    def run_functional(self, xs: List[np.ndarray],
+                       exact: bool = True) -> List[np.ndarray]:
+        """Architecturally exact evaluation (small models/tests)."""
+        return self.compiled.run_sequence(xs, exact=exact)
+
+
+@dataclasses.dataclass(frozen=True)
+class InvocationResult:
+    """Latency breakdown of one microservice invocation."""
+
+    network_in_s: float
+    compute_s: float
+    network_out_s: float
+    outputs: Optional[List[np.ndarray]] = None
+
+    @property
+    def total_s(self) -> float:
+        return self.network_in_s + self.compute_s + self.network_out_s
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_s * 1e3
+
+
+class HardwareMicroservice:
+    """A published model-serving endpoint backed by one FPGA node."""
+
+    def __init__(self, name: str, node: FpgaNode,
+                 network: Optional[NetworkModel] = None):
+        self.name = name
+        self.node = node
+        self.network = network if network is not None else NetworkModel()
+
+    def invoke(self, steps: int, functional_inputs:
+               Optional[List[np.ndarray]] = None) -> InvocationResult:
+        """Serve one request of ``steps`` timesteps.
+
+        Network time covers the input vector stream in and the output
+        stream back; compute time comes from the timing simulator. Pass
+        ``functional_inputs`` to additionally produce real outputs via
+        the functional simulator.
+        """
+        compiled = self.node.compiled
+        bytes_per_vec = compiled.config.native_dim * 2  # float16 wire fmt
+        in_bytes = steps * compiled.input_vectors_per_step * bytes_per_vec
+        out_bytes = steps * compiled.output_vectors_per_step * bytes_per_vec
+        # Inputs stream concurrently with compute (the NPU consumes
+        # vectors as they arrive) and outputs stream back per step, so
+        # the request pays one propagation plus the first step's
+        # serialization on the way in, and one propagation plus the
+        # last step's serialization on the way out; serialization of
+        # the full payload only matters if it exceeds compute.
+        first_in = in_bytes / max(steps, 1)
+        last_out = out_bytes / max(steps, 1)
+        net_in = self.network.transfer_us(first_in,
+                                          self.node.locality) * 1e-6
+        net_out = self.network.transfer_us(last_out,
+                                           self.node.locality) * 1e-6
+        compute = max(self.node.compute_latency_s(steps),
+                      self.network.serialization_us(in_bytes) * 1e-6,
+                      self.network.serialization_us(out_bytes) * 1e-6)
+        outputs = None
+        if functional_inputs is not None:
+            if len(functional_inputs) != steps:
+                raise ServiceError(
+                    f"{self.name}: {len(functional_inputs)} inputs for "
+                    f"{steps} steps")
+            outputs = self.node.run_functional(functional_inputs)
+        return InvocationResult(network_in_s=net_in, compute_s=compute,
+                                network_out_s=net_out, outputs=outputs)
+
+
+class MicroserviceRegistry:
+    """The distributed resource manager: name -> published service."""
+
+    def __init__(self):
+        self._services: Dict[str, HardwareMicroservice] = {}
+
+    def publish(self, service: HardwareMicroservice) -> str:
+        """Register a service; returns the endpoint address."""
+        if service.name in self._services:
+            raise ServiceError(f"service {service.name!r} already "
+                               "published")
+        self._services[service.name] = service
+        return service.node.ip_address
+
+    def lookup(self, name: str) -> HardwareMicroservice:
+        if name not in self._services:
+            raise ServiceError(
+                f"no service {name!r}; published: "
+                f"{sorted(self._services)}")
+        return self._services[name]
+
+    def __len__(self) -> int:
+        return len(self._services)

@@ -1,0 +1,14 @@
+"""Cycle-level timing model of the BW NPU microarchitecture."""
+
+from .latency import ChainLatency, LatencyConstants, LatencyModel
+from .report import ChainRecord, TimingReport
+from .scheduler import TimingSimulator, steady_state_cycles_per_step
+from .hdd import DecoderNode, HddTree, build_hdd_tree
+from .timeline import OccupancySummary, occupancy, render_timeline
+
+__all__ = [
+    "ChainLatency", "LatencyConstants", "LatencyModel", "ChainRecord",
+    "TimingReport", "TimingSimulator", "steady_state_cycles_per_step",
+    "DecoderNode", "HddTree", "build_hdd_tree",
+    "OccupancySummary", "occupancy", "render_timeline",
+]

@@ -1,0 +1,177 @@
+"""CNN timing: the CNN-specialized BW NPU variant (Sections IV-B, VII-C).
+
+Convolutions are linearized onto matrix-vector multiplication; the
+CNN-specialized variant (BW_CNN_A10, Table VI) additionally relies on
+DRAM weight streaming overlapped with compute (Section V-A) and on a
+scheduler that replays the per-pixel inner loop without paying full
+chain-setup each iteration.
+
+Two per-layer cost models are provided, and the toolflow takes the
+better of the two (it is free to pick the mapping):
+
+* **Block-packed mapping** (structural): when the kernel count K is
+  smaller than the native dimension, ``floor(N/K)`` output pixels pack
+  block-diagonally into one tile row space, and each tile engine
+  processes an independent pixel group. For the 28x28x128/3x3 layer of
+  Table I on BW_S10 this yields 1,320 cycles against the paper's
+  measured 1,326.
+* **Variant efficiency bound** (calibrated): the specialized variant
+  tracks the SDM latency within a fitted factor (Table I's two CNN rows
+  measure 1.09x and 1.18x SDM; we use 1.12x).
+
+ResNet-50 end-to-end timing sums per-layer compute/stream maxima
+(weights for layer ``l+1`` stream while layer ``l`` computes) plus PCIe
+and invocation overheads — the Table VI serving path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence
+
+from ..config import NpuConfig
+from ..models.cnn import ConvSpec
+from ..models.resnet import NetworkLayer, resnet50_featurizer
+from .latency import LatencyConstants
+
+#: Fitted SDM-tracking factor of the CNN-specialized variant.
+CNN_VARIANT_SDM_FACTOR = 1.12
+
+
+def block_packed_conv_cycles(spec: ConvSpec, config: NpuConfig) -> float:
+    """Structural block-packed mapping cost of one conv layer.
+
+    ``r_pack = floor(N / K)`` pixels stack block-diagonally along a
+    tile's rows (1 if K > N); each of the ``tile_engines`` engines
+    serves an independent pixel group, walking the patch's
+    ``ceil(patch/N)`` column tiles in ``N/lanes`` cycles each.
+    """
+    n = config.native_dim
+    k, patch = spec.as_matrix_shape()
+    r_pack = max(1, n // k)
+    tile_rows = math.ceil(k / n)
+    col_tiles = math.ceil(patch / n)
+    pixels_per_pass = r_pack * max(1, config.tile_engines // tile_rows)
+    cycles_per_pass = (tile_rows * col_tiles
+                       * config.cycles_per_native_row)
+    passes = math.ceil(spec.output_pixels / pixels_per_pass)
+    return passes * cycles_per_pass
+
+
+def variant_bound_cycles(spec: ConvSpec, config: NpuConfig,
+                         sdm_factor: float = CNN_VARIANT_SDM_FACTOR
+                         ) -> float:
+    """Calibrated CNN-variant bound: SDM latency times the fitted
+    tracking factor."""
+    from ..criticalpath.analytic import conv_udm_cycles
+    macs = spec.matmul_ops // 2
+    sdm = macs / config.total_macs + conv_udm_cycles(spec.patch_length)
+    return sdm * sdm_factor
+
+
+def conv_layer_compute_cycles(spec: ConvSpec, config: NpuConfig) -> float:
+    """Compute cycles of one conv layer: the better of the two mappings,
+    plus one chain setup (the replayed inner loop pays setup once)."""
+    constants = LatencyConstants()
+    return (min(block_packed_conv_cycles(spec, config),
+                variant_bound_cycles(spec, config))
+            + constants.chain_setup_cycles)
+
+
+def conv_layer_stream_cycles(spec: ConvSpec, config: NpuConfig,
+                             dram_gbps: float) -> float:
+    """Cycles to stream the layer's weights from DRAM."""
+    weight_bytes = (spec.parameter_count
+                    * config.weight_bits_per_element / 8)
+    bytes_per_cycle = dram_gbps * 1e9 * config.cycle_time_s
+    return weight_bytes / bytes_per_cycle
+
+
+@dataclasses.dataclass(frozen=True)
+class CnnLayerTiming:
+    """Per-layer timing decomposition."""
+
+    name: str
+    spec: ConvSpec
+    compute_cycles: float
+    stream_cycles: float
+
+    @property
+    def cycles(self) -> float:
+        """Streaming overlaps compute (double-buffered MRF halves)."""
+        return max(self.compute_cycles, self.stream_cycles)
+
+    @property
+    def stream_bound(self) -> bool:
+        return self.stream_cycles > self.compute_cycles
+
+
+@dataclasses.dataclass
+class CnnNetworkTiming:
+    """End-to-end CNN serving estimate (Table VI)."""
+
+    config: NpuConfig
+    layers: List[CnnLayerTiming]
+    pcie_overhead_s: float
+    total_ops: float
+
+    @property
+    def compute_cycles(self) -> float:
+        return sum(layer.cycles for layer in self.layers)
+
+    @property
+    def latency_s(self) -> float:
+        constants = LatencyConstants()
+        cycles = (self.compute_cycles + constants.invocation_overhead)
+        return cycles * self.config.cycle_time_s + self.pcie_overhead_s
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_s * 1e3
+
+    @property
+    def ips(self) -> float:
+        """Inferences per second at batch 1 (one request at a time)."""
+        return 1.0 / self.latency_s
+
+    @property
+    def effective_tflops(self) -> float:
+        return self.total_ops / self.latency_s / 1e12
+
+    @property
+    def stream_bound_layers(self) -> int:
+        return sum(1 for layer in self.layers if layer.stream_bound)
+
+
+def network_timing(config: NpuConfig,
+                   layers: Optional[Sequence[NetworkLayer]] = None,
+                   dram_gbps: float = 14.0,
+                   pcie_overhead_s: float = 180e-6) -> CnnNetworkTiming:
+    """Time a full CNN (default: the ResNet-50 featurizer) on a
+    CNN-specialized instance.
+
+    Args:
+        config: The NPU instance (e.g. ``BW_CNN_A10``).
+        layers: Convolution layer inventory; defaults to ResNet-50.
+        dram_gbps: Local DRAM bandwidth for weight streaming (one DDR4
+            channel on the Arria 10 board).
+        pcie_overhead_s: Host-accelerator transfer time included in the
+            paper's measurements ("the transfer time over PCI express").
+    """
+    if layers is None:
+        layers = resnet50_featurizer()
+    timed = [
+        CnnLayerTiming(
+            name=layer.name, spec=layer.spec,
+            compute_cycles=(conv_layer_compute_cycles(layer.spec, config)
+                            * layer.count),
+            stream_cycles=(conv_layer_stream_cycles(layer.spec, config,
+                                                    dram_gbps)
+                           * layer.count))
+        for layer in layers
+    ]
+    total_ops = float(sum(layer.total_ops for layer in layers))
+    return CnnNetworkTiming(config=config, layers=timed,
+                            pcie_overhead_s=pcie_overhead_s,
+                            total_ops=total_ops)

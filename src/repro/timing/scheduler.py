@@ -1,0 +1,280 @@
+"""Event-driven cycle-level timing simulator.
+
+Schedules a program's dynamic chain stream over the microarchitecture's
+resources and dependences:
+
+* **Chain setup** — the single-threaded top-level scheduler processes
+  chains strictly in program order, spending ``chain_setup_cycles`` per
+  chain on decode, hazard check, and crossbar/arbitration configuration.
+  Buffering at each HDD stage (Section V-C) lets the setup stream run
+  ahead of execution, so it bounds chain throughput without serializing
+  against compute; it produces the dimension-independent per-step
+  latency floor the paper measures on small and medium RNNs
+  (Section VII-B2). When a chain is replayed from a loop body, a
+  configuration-caching scheduler (the CNN-variant's behaviour, enabled
+  with ``replay_loops=True``) pays only the dispatch cost on repeats.
+* **MVM occupancy** — an ``mv_mul`` holds the MVM for
+  ``ceil(R*C/tiles) * N/lanes`` cycles; back-to-back matrix chains in
+  large models make this the binding resource (GRU h=2816: 6 x 110 = 660
+  cycles/step vs. the measured 662).
+* **MFU stream occupancy** — chains without an ``mv_mul`` occupy the
+  point-wise pipeline for ``rows * N/lanes`` cycles.
+* **Streaming dependences** — the vector arbitration network forwards
+  produced entries toward consumers as both streams advance, so a
+  dependent chain trails its producer's start by a short forwarding
+  delay (``forward_delay``) rather than the producer's full pipeline
+  depth (entry-granular readiness tracking).
+* **Scalar dispatch** — the control processor feeds roughly one compound
+  instruction per ``dispatch_interval`` cycles (Section V-C).
+* **DRAM/network transfers** — matrix chains occupy a separate transfer
+  resource, so weight streaming overlaps compute (the CNN regime); an
+  ``mv_mul`` whose MRF tiles are still in flight waits for them.
+
+Anti-dependences (WAR) are subsumed by in-order issue with turnaround
+spacing, matching the in-order vector arbitration network.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..config import NpuConfig
+from ..errors import ExecutionError
+from ..isa.chain import InstructionChain
+from ..isa.memspace import MemId, ScalarReg
+from ..isa.opcodes import Opcode
+from ..isa.program import NpuProgram, SetScalar
+from .latency import LatencyConstants, LatencyModel
+from .report import ChainRecord, TimingReport
+
+
+@dataclasses.dataclass
+class _MachineState:
+    """Mutable scheduling state for one run."""
+
+    rows: int = 1
+    cols: int = 1
+    dispatch_time: float = 0.0
+    mvm_free: float = 0.0
+    mfu_free: float = 0.0
+    transfer_free: float = 0.0
+    last_completion: float = 0.0
+    mvm_busy: float = 0.0
+    chains: int = 0
+    instructions: int = 0
+    ready: Dict[Tuple[MemId, int], float] = dataclasses.field(
+        default_factory=dict)
+    seen_chains: set = dataclasses.field(default_factory=set)
+
+
+class TimingSimulator:
+    """Cycle-level performance model of a BW NPU instance."""
+
+    def __init__(self, config: NpuConfig,
+                 constants: Optional[LatencyConstants] = None,
+                 record_chains: bool = False,
+                 replay_loops: bool = False):
+        """
+        Args:
+            config: The NPU instance to model.
+            constants: Calibrated pipeline constants (defaults frozen
+                against Table V).
+            record_chains: Keep a per-chain schedule trace in the report.
+            replay_loops: Model a configuration-caching scheduler: a
+                chain already seen (e.g. on later loop iterations) pays
+                only instruction dispatch, not full setup. This is the
+                CNN-specialized variant's behaviour (the per-pixel inner
+                loop would otherwise be setup-bound) and the basis of the
+                batch-interleaving future-work ablation.
+        """
+        self.config = config
+        self.latency = LatencyModel(config, constants)
+        self.record_chains = record_chains
+        self.replay_loops = replay_loops
+
+    def run(self, program: NpuProgram,
+            bindings: Optional[Dict[str, int]] = None,
+            nominal_ops: float = 0.0,
+            include_invocation_overhead: bool = True) -> TimingReport:
+        """Simulate ``program`` and return a :class:`TimingReport`.
+
+        Args:
+            program: The NPU program to time.
+            bindings: Run-time loop-count bindings.
+            nominal_ops: Useful model-level operation count, used for
+                effective TFLOPS / utilization (the paper reports model
+                ops over wall-clock, excluding padding waste).
+            include_invocation_overhead: Charge the per-invocation launch
+                and network I/O overhead constant.
+        """
+        state = _MachineState()
+        records: Optional[List[ChainRecord]] = \
+            [] if self.record_chains else None
+
+        for event in program.events(bindings):
+            if isinstance(event, SetScalar):
+                if event.reg is ScalarReg.Rows:
+                    state.rows = event.value
+                elif event.reg is ScalarReg.Columns:
+                    state.cols = event.value
+                state.dispatch_time += \
+                    self.latency.constants.dispatch_interval
+                state.instructions += 1
+                continue
+            if event.is_matrix_chain:
+                self._matrix_chain(event, state)
+            else:
+                self._vector_chain(event, state, records)
+
+        total = state.last_completion
+        if include_invocation_overhead:
+            total += self.latency.constants.invocation_overhead
+        return TimingReport(
+            config=self.config, total_cycles=total,
+            nominal_ops=nominal_ops, mvm_busy_cycles=state.mvm_busy,
+            chains_executed=state.chains,
+            instructions_dispatched=state.instructions,
+            records=records,
+        )
+
+    # -- vector chains ------------------------------------------------------
+
+    def _vector_chain(self, chain: InstructionChain, state: _MachineState,
+                      records: Optional[List[ChainRecord]]) -> None:
+        consts = self.latency.constants
+        rows, cols = state.rows, state.cols
+        lat = self.latency.chain_latency(chain, rows, cols)
+        width_in = cols if chain.has_mv_mul else rows
+
+        # Setup/dispatch stream: full setup for a newly decoded chain,
+        # dispatch-only for replayed (configuration-cached) chains.
+        n_instr = len(chain) + 1  # + end_chain
+        if self.replay_loops and id(chain) in state.seen_chains:
+            setup = n_instr * consts.dispatch_interval
+        else:
+            setup = max(consts.chain_setup_cycles,
+                        n_instr * consts.dispatch_interval)
+            state.seen_chains.add(id(chain))
+        state.dispatch_time += setup
+
+        start = state.dispatch_time
+        if chain.has_mv_mul:
+            start = max(start, state.mvm_free)
+        else:
+            start = max(start, state.mfu_free)
+
+        # Head read: the chain streams its input from time `start`; the
+        # producer's first output must already be in the register file.
+        head = chain.source
+        if head.mem_id is not None and head.index is not None:
+            for e in range(width_in):
+                key = (head.mem_id, head.index + e)
+                if key in state.ready:
+                    start = max(start, state.ready[key])
+
+        # MRF tiles must have landed (weight streaming from DRAM).
+        if chain.has_mv_mul:
+            base = chain.mv_mul_index
+            for tile in range(rows * cols):
+                key = (MemId.MatrixRf, base + tile)
+                if key in state.ready:
+                    start = max(start, state.ready[key])
+
+        # Point-wise operands are read deeper in the consumer's pipeline;
+        # the same forwarded-readiness times gate them.
+        for instr in chain.pointwise_ops:
+            if instr.index is None:
+                continue  # unary activation: no register-file operand
+            mem = (MemId.MultiplyVrf if instr.opcode is Opcode.VV_MUL
+                   else MemId.AddSubVrf)
+            for e in range(rows):
+                key = (mem, instr.index + e)
+                if key in state.ready:
+                    start = max(start, state.ready[key])
+
+        completion = start + lat.completion
+        # Consumers may trail this chain by the forwarding delay (see
+        # LatencyConstants.forward_delay); completion still reflects the
+        # full pipeline traversal for fill/drain accounting.
+        forwarded = start + consts.forward_delay
+        for write in chain.writes:
+            if write.mem_id is None or write.index is None:
+                continue
+            for e in range(rows):
+                state.ready[(write.mem_id, write.index + e)] = forwarded
+
+        if chain.has_mv_mul:
+            state.mvm_free = start + lat.issue
+            state.mvm_busy += lat.issue
+        else:
+            state.mfu_free = start + lat.issue
+        state.instructions += n_instr
+        state.last_completion = max(state.last_completion, completion)
+        if records is not None:
+            records.append(ChainRecord(
+                index=state.chains, start=start, issue=lat.issue,
+                depth_first=lat.depth_first, completion=completion,
+                has_mv_mul=chain.has_mv_mul, rows=rows, cols=cols))
+        state.chains += 1
+
+    # -- matrix chains -------------------------------------------------------
+
+    def _matrix_chain(self, chain: InstructionChain,
+                      state: _MachineState) -> None:
+        tiles = state.rows * state.cols
+        cycles = self.latency.matrix_chain_cycles(
+            tiles, self.config.weight_bits_per_element / 8)
+        n_instr = len(chain) + 1
+        if self.replay_loops and id(chain) in state.seen_chains:
+            state.dispatch_time += \
+                n_instr * self.latency.constants.dispatch_interval
+        else:
+            state.dispatch_time += max(
+                self.latency.constants.chain_setup_cycles,
+                n_instr * self.latency.constants.dispatch_interval)
+            state.seen_chains.add(id(chain))
+        start = max(state.dispatch_time, state.transfer_free)
+        rd, wr = chain.instructions
+        if rd.mem_id is MemId.Dram and rd.index is not None:
+            # Source tiles written earlier (e.g. spilled) gate the read.
+            for t in range(tiles):
+                key = (MemId.Dram, rd.index + t)
+                if key in state.ready:
+                    start = max(start, state.ready[key])
+        completion = start + cycles
+        if wr.index is not None:
+            target = MemId.MatrixRf if wr.mem_id is MemId.MatrixRf \
+                else MemId.Dram
+            for t in range(tiles):
+                state.ready[(target, wr.index + t)] = completion
+        state.transfer_free = completion
+        state.instructions += n_instr
+        state.chains += 1
+        state.last_completion = max(state.last_completion, completion)
+
+
+def steady_state_cycles_per_step(
+        config: NpuConfig, program_factory, steps_a: int = 20,
+        steps_b: int = 60, binding: str = "steps",
+        constants: Optional[LatencyConstants] = None) -> float:
+    """Measure steady-state cycles per RNN timestep.
+
+    Runs the same program at two step counts and differences the totals,
+    cancelling pipeline fill and invocation overhead.
+
+    Args:
+        config: NPU configuration.
+        program_factory: Callable returning the program (or a
+            :class:`~repro.compiler.lowering.CompiledModel`).
+        steps_a, steps_b: The two step counts (b > a).
+    """
+    if steps_b <= steps_a:
+        raise ExecutionError("steps_b must exceed steps_a")
+    program = program_factory()
+    if hasattr(program, "program"):  # accept CompiledModel
+        program = program.program
+    sim = TimingSimulator(config, constants=constants)
+    total_a = sim.run(program, bindings={binding: steps_a}).total_cycles
+    total_b = sim.run(program, bindings={binding: steps_b}).total_cycles
+    return (total_b - total_a) / (steps_b - steps_a)

@@ -1,0 +1,94 @@
+"""Schedule visualization: text Gantt charts of chain execution.
+
+Renders a :class:`~repro.timing.report.TimingReport` recorded with
+``record_chains=True`` as an ASCII timeline, one row per chain, so the
+two performance regimes are visible at a glance: back-to-back MVM
+occupancy for large models, and the chain-setup spacing floor for small
+ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..errors import ExecutionError
+from .report import TimingReport
+
+
+@dataclasses.dataclass(frozen=True)
+class OccupancySummary:
+    """Aggregate resource occupancy over a run."""
+
+    total_cycles: float
+    mvm_busy_cycles: float
+    chains: int
+    mvm_chains: int
+
+    @property
+    def mvm_occupancy(self) -> float:
+        if self.total_cycles == 0:
+            return 0.0
+        return self.mvm_busy_cycles / self.total_cycles
+
+    def render(self) -> str:
+        return (f"{self.chains} chains ({self.mvm_chains} with mv_mul), "
+                f"{self.total_cycles:.0f} cycles, MVM busy "
+                f"{100 * self.mvm_occupancy:.1f}%")
+
+
+def occupancy(report: TimingReport) -> OccupancySummary:
+    """Summarize resource occupancy of a run."""
+    mvm_chains = 0
+    if report.records is not None:
+        mvm_chains = sum(1 for r in report.records if r.has_mv_mul)
+    return OccupancySummary(
+        total_cycles=report.total_cycles,
+        mvm_busy_cycles=report.mvm_busy_cycles,
+        chains=report.chains_executed,
+        mvm_chains=mvm_chains)
+
+
+def render_timeline(report: TimingReport, width: int = 72,
+                    max_chains: int = 48,
+                    labels: Optional[List[str]] = None) -> str:
+    """Render the chain schedule as an ASCII Gantt chart.
+
+    ``M`` marks an ``mv_mul`` chain's issue window, ``=`` a point-wise
+    chain's, and ``-`` the pipeline drain to completion. Requires the
+    report to carry chain records (``TimingSimulator(record_chains=
+    True)``).
+    """
+    if report.records is None:
+        raise ExecutionError(
+            "timeline requires a report recorded with record_chains=True")
+    records = report.records[:max_chains]
+    if not records:
+        return "(no chains executed)"
+    t0 = min(r.start for r in records)
+    t1 = max(r.completion for r in records)
+    span = max(t1 - t0, 1.0)
+    scale = (width - 1) / span
+
+    def col(t: float) -> int:
+        return int((t - t0) * scale)
+
+    lines = [f"timeline: {len(records)} chains over "
+             f"{span:.0f} cycles (1 col ~ {span / width:.0f} cyc)"]
+    for i, rec in enumerate(records):
+        row = [" "] * width
+        a = col(rec.start)
+        b = max(col(rec.start + rec.issue), a + 1)
+        c = max(col(rec.completion), b)
+        mark = "M" if rec.has_mv_mul else "="
+        for x in range(a, min(b, width)):
+            row[x] = mark
+        for x in range(b, min(c, width)):
+            row[x] = "-"
+        label = labels[i] if labels and i < len(labels) else f"#{rec.index}"
+        lines.append(f"{label:>10} |{''.join(row)}|")
+    if len(report.records) > max_chains:
+        lines.append(f"... {len(report.records) - max_chains} more "
+                     "chains not shown")
+    lines.append(occupancy(report).render())
+    return "\n".join(lines)

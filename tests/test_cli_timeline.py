@@ -1,0 +1,85 @@
+"""Tests for the CLI and the timeline renderer."""
+
+import pytest
+
+from repro.cli import main
+from repro.compiler.lowering import compile_rnn_shape
+from repro.config import BW_S10
+from repro.errors import ExecutionError
+from repro.timing import TimingSimulator, occupancy, render_timeline
+
+
+class TestCli:
+    def test_configs(self, capsys):
+        assert main(["configs"]) == 0
+        out = capsys.readouterr().out
+        assert "BW_S10" in out and "96000" in out
+
+    def test_time(self, capsys):
+        assert main(["time", "gru", "512", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out and "TFLOPS" in out
+
+    def test_disassemble(self, capsys):
+        assert main(["disassemble", "lstm", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "mv_mul" in out and "loop steps {" in out
+
+    def test_experiment_table3(self, capsys):
+        assert main(["experiment", "table3"]) == 0
+        assert "Table III" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_specialize(self, capsys):
+        assert main(["specialize", "gru", "512", "Arria 10 1150"]) == 0
+        out = capsys.readouterr().out
+        assert "effective TFLOPS" in out
+
+    def test_specialize_unknown_device(self, capsys):
+        assert main(["specialize", "gru", "512", "Virtex"]) == 2
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestTimeline:
+    def make_report(self):
+        compiled = compile_rnn_shape("gru", 1024, BW_S10)
+        sim = TimingSimulator(BW_S10, record_chains=True)
+        return sim.run(compiled.program, bindings={"steps": 3},
+                       include_invocation_overhead=False)
+
+    def test_render_contains_rows_and_summary(self):
+        text = render_timeline(self.make_report())
+        assert "timeline:" in text
+        assert "M" in text          # mv_mul chains
+        assert "=" in text          # point-wise chains
+        assert "MVM busy" in text
+
+    def test_requires_records(self):
+        compiled = compile_rnn_shape("gru", 512, BW_S10)
+        report = TimingSimulator(BW_S10).run(compiled.program,
+                                             bindings={"steps": 1})
+        with pytest.raises(ExecutionError):
+            render_timeline(report)
+
+    def test_max_chains_truncation(self):
+        text = render_timeline(self.make_report(), max_chains=5)
+        assert "more chains not shown" in text
+
+    def test_occupancy_summary(self):
+        report = self.make_report()
+        summary = occupancy(report)
+        assert summary.chains == report.chains_executed
+        assert 0 < summary.mvm_occupancy < 1
+        assert "chains" in summary.render()
+
+    def test_labels(self):
+        report = self.make_report()
+        text = render_timeline(report, max_chains=3,
+                               labels=["alpha", "beta"])
+        assert "alpha" in text and "beta" in text

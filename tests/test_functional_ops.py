@@ -1,0 +1,92 @@
+"""Tests for the point-wise kernels: float16 pipeline semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.functional import ops
+from repro.isa import Opcode
+
+
+class TestKernelSemantics:
+    def test_exact_mode_is_float32(self):
+        a = np.array([1.0 + 2 ** -20], dtype=np.float32)
+        b = np.array([0.0], dtype=np.float32)
+        out = ops.vv_add(a, b, exact=True)
+        assert out[0] == np.float32(1.0 + 2 ** -20)
+
+    def test_pipeline_mode_rounds_to_float16(self):
+        a = np.array([1.0 + 2 ** -12], dtype=np.float32)
+        b = np.array([0.0], dtype=np.float32)
+        out = ops.vv_add(a, b, exact=False)
+        assert out[0] == 1.0  # 2^-12 is below float16 resolution at 1.0
+
+    def test_outputs_are_float32_typed(self):
+        """Pipeline values are stored as float32 words holding
+        float16-rounded values."""
+        out = ops.v_tanh(np.ones(4), exact=False)
+        assert out.dtype == np.float32
+
+    def test_subtraction_direction(self):
+        a = np.array([5.0], dtype=np.float32)
+        b = np.array([2.0], dtype=np.float32)
+        assert ops.vv_a_sub_b(a, b)[0] == 3.0
+        assert ops.vv_b_sub_a(a, b)[0] == -3.0
+
+    def test_max_and_mul(self):
+        a = np.array([-1.0, 2.0], dtype=np.float32)
+        b = np.array([0.5, -3.0], dtype=np.float32)
+        assert np.array_equal(ops.vv_max(a, b), [0.5, 2.0])
+        assert np.array_equal(ops.vv_mul(a, b), [-0.5, -6.0])
+
+    def test_sigmoid_saturation_is_finite(self):
+        out = ops.v_sigm(np.array([1e4, -1e4], dtype=np.float32))
+        assert out[0] == 1.0 and out[1] == 0.0
+
+    def test_tanh_saturation(self):
+        out = ops.v_tanh(np.array([50.0, -50.0], dtype=np.float32))
+        assert out[0] == 1.0 and out[1] == -1.0
+
+    def test_relu_kernel(self):
+        out = ops.v_relu(np.array([-2.0, 0.0, 3.0], dtype=np.float32))
+        assert np.array_equal(out, [0.0, 0.0, 3.0])
+
+    def test_kernel_tables_cover_pointwise_opcodes(self):
+        assert set(ops.BINARY_KERNELS) == {
+            Opcode.VV_ADD, Opcode.VV_A_SUB_B, Opcode.VV_B_SUB_A,
+            Opcode.VV_MAX, Opcode.VV_MUL}
+        assert set(ops.UNARY_KERNELS) == {
+            Opcode.V_RELU, Opcode.V_SIGM, Opcode.V_TANH}
+
+
+values = st.lists(st.floats(-100, 100, allow_nan=False, width=16),
+                  min_size=4, max_size=4)
+
+
+@given(values, values)
+@settings(max_examples=60)
+def test_float16_inputs_add_associatively_with_rounding(a, b):
+    """For float16-representable inputs, the pipeline add equals the
+    float16-rounded float32 sum."""
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    got = ops.vv_add(a, b, exact=False)
+    want = np.float16(a + b).astype(np.float32)
+    assert np.array_equal(got, want)
+
+
+@given(values)
+@settings(max_examples=60)
+def test_relu_idempotent(a):
+    a = np.asarray(a, dtype=np.float32)
+    once = ops.v_relu(a, exact=False)
+    twice = ops.v_relu(once, exact=False)
+    assert np.array_equal(once, twice)
+
+
+@given(values)
+@settings(max_examples=60)
+def test_max_with_self_is_identity(a):
+    a = np.float16(np.asarray(a, dtype=np.float32)).astype(np.float32)
+    assert np.array_equal(ops.vv_max(a, a, exact=False), a)

@@ -1,0 +1,169 @@
+"""Tests for the graph IR, frontends, and compiler passes."""
+
+import pytest
+
+from repro.compiler.frontend import gru_to_gir, lstm_to_gir, mlp_to_gir
+from repro.compiler.gir import GirGraph
+from repro.compiler.passes import (
+    annotate_padding,
+    cpu_fallback_nodes,
+    fuse_chains,
+    pin_constants,
+    validate_for_npu,
+)
+from repro.config import NpuConfig
+from repro.errors import CompileError
+from repro.models import GruReference, LstmReference, MlpReference
+
+
+@pytest.fixture
+def cfg():
+    return NpuConfig(name="t", tile_engines=2, lanes=4, native_dim=16,
+                     mrf_size=64, mantissa_bits=0)
+
+
+class TestGirGraph:
+    def test_build_and_validate(self):
+        g = GirGraph("g")
+        g.add("W", "constant", shape=(8, 4))
+        g.add("x", "input", shape=(4,))
+        g.add("y", "matmul", ["W", "x"], shape=(8,))
+        g.add("out", "output", ["y"], shape=(8,))
+        g.validate()
+        assert len(g) == 4
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(CompileError):
+            GirGraph("g").add("n", "convolve")
+
+    def test_duplicate_node_rejected(self):
+        g = GirGraph("g")
+        g.add("x", "input", shape=(4,))
+        with pytest.raises(CompileError):
+            g.add("x", "input", shape=(4,))
+
+    def test_unknown_input_rejected(self):
+        g = GirGraph("g")
+        with pytest.raises(CompileError):
+            g.add("y", "identity", ["ghost"], shape=(4,))
+
+    def test_arity_checked(self):
+        g = GirGraph("g")
+        g.add("a", "input", shape=(4,))
+        with pytest.raises(CompileError):
+            g.add("b", "add", ["a"], shape=(4,))
+
+    def test_matmul_shape_mismatch_caught(self):
+        g = GirGraph("g")
+        g.add("W", "constant", shape=(8, 5))
+        g.add("x", "input", shape=(4,))
+        g.add("y", "matmul", ["W", "x"], shape=(8,))
+        with pytest.raises(CompileError, match="mismatch"):
+            g.validate()
+
+    def test_binary_shape_mismatch_caught(self):
+        g = GirGraph("g")
+        g.add("a", "input", shape=(4,))
+        g.add("b", "input", shape=(5,))
+        g.add("c", "add", ["a", "b"], shape=(4,))
+        with pytest.raises(CompileError):
+            g.validate()
+
+    def test_weight_accounting(self):
+        g = GirGraph("g")
+        g.add("W", "constant", shape=(8, 4))
+        g.add("b", "constant", shape=(8,))  # vectors are not weights
+        assert g.weight_elements == 32
+        assert len(g.weight_nodes()) == 1
+
+    def test_consumers(self):
+        g = GirGraph("g")
+        g.add("x", "input", shape=(4,))
+        g.add("a", "identity", ["x"], shape=(4,))
+        g.add("b", "relu", ["x"], shape=(4,))
+        assert {n.name for n in g.consumers("x")} == {"a", "b"}
+
+
+class TestFrontends:
+    def test_lstm_export_validates(self):
+        g = lstm_to_gir(LstmReference(12, 8, seed=0), steps=3)
+        assert len(g.by_op("matmul")) == 8 * 3
+        assert g.weight_elements == 4 * (12 * 8 + 12 * 12)
+
+    def test_gru_export_validates(self):
+        g = gru_to_gir(GruReference(12, 12, seed=0), steps=2)
+        assert len(g.by_op("matmul")) == 6 * 2
+        assert len(g.by_op("output")) == 2
+
+    def test_mlp_export_validates(self):
+        g = mlp_to_gir(MlpReference([8, 16, 4], seed=0))
+        assert len(g.by_op("matmul")) == 2
+        assert g.weight_elements == 8 * 16 + 16 * 4
+
+
+class TestPasses:
+    def test_padding_efficiency_perfect_when_aligned(self, cfg):
+        g = mlp_to_gir(MlpReference([16, 32, 16], seed=0))
+        assert annotate_padding(g, cfg) == pytest.approx(1.0)
+
+    def test_padding_efficiency_below_one_when_misaligned(self, cfg):
+        g = mlp_to_gir(MlpReference([17, 17, 17], seed=0))
+        eff = annotate_padding(g, cfg)
+        assert eff == pytest.approx((17 * 17) / (32 * 32))
+
+    def test_padding_annotations_written(self, cfg):
+        g = mlp_to_gir(MlpReference([20, 40], seed=0))
+        annotate_padding(g, cfg)
+        node = g.by_op("matmul")[0]
+        assert node.attrs["tile_grid"] == (3, 2)
+
+    def test_pin_constants_all_fit(self, cfg):
+        g = mlp_to_gir(MlpReference([16, 16], seed=0))
+        pinned, streamed = pin_constants(g, cfg)
+        assert pinned == 256 and streamed == 0
+        assert g.node("W0").attrs["placement"] == "mrf"
+
+    def test_pin_constants_spills_to_dram(self):
+        small = NpuConfig(name="s", tile_engines=1, lanes=2,
+                          native_dim=4, mrf_size=2, mantissa_bits=0)
+        g = mlp_to_gir(MlpReference([8, 8, 8], seed=0))
+        pinned, streamed = pin_constants(g, small)
+        assert streamed > 0
+        placements = [n.attrs["placement"] for n in g.weight_nodes()]
+        assert "dram" in placements
+
+    def test_fuse_chains_mlp_layer_fuses_fully(self, cfg):
+        g = mlp_to_gir(MlpReference([16, 16, 16], seed=0))
+        chains = fuse_chains(g, cfg)
+        with_mm = [c for c in chains if c.has_matmul]
+        assert len(with_mm) == 2
+        # Hidden layer fuses matmul + bias + relu; the output layer is
+        # linear (identity is not an MFU op) so it fuses matmul + bias.
+        assert sorted(len(c.nodes) for c in with_mm) == [2, 3]
+
+    def test_fuse_chains_respects_mfu_budget(self, cfg):
+        one_mfu = cfg.replace(mfus=1)
+        g = GirGraph("g")
+        g.add("W", "constant", shape=(16, 16))
+        g.add("x", "input", shape=(16,))
+        g.add("b1", "constant", shape=(16,))
+        g.add("b2", "constant", shape=(16,))
+        g.add("mm", "matmul", ["W", "x"], shape=(16,))
+        g.add("a1", "add", ["mm", "b1"], shape=(16,))
+        g.add("a2", "add", ["a1", "b2"], shape=(16,))
+        chains = fuse_chains(g, one_mfu)
+        first = next(c for c in chains if c.has_matmul)
+        # Two adds need two add/sub units = two MFUs; the second add
+        # cannot fuse into the same chain on a 1-MFU config.
+        assert len(first.nodes) == 2
+
+    def test_validate_for_npu_passes_for_rnn(self, cfg):
+        g = gru_to_gir(GruReference(12, 12, seed=0), steps=1)
+        validate_for_npu(g, cfg)
+
+    def test_cpu_fallback_detection(self, cfg):
+        g = GirGraph("g")
+        g.add("a", "input", shape=(4,))
+        g.add("b", "input", shape=(4,))
+        g.add("c", "concat", ["a", "b"], shape=(8,))
+        assert [n.name for n in cpu_fallback_nodes(g)] == ["c"]

@@ -1,0 +1,196 @@
+"""Tests for instruction chains: structure, validation, MFU routing."""
+
+import pytest
+
+from repro.errors import ChainCapacityError, ChainError
+from repro.isa import (
+    FuCategory,
+    InstructionChain,
+    MemId,
+    chains_from_instructions,
+    end_chain,
+    m_rd,
+    m_wr,
+    mv_mul,
+    s_wr,
+    ScalarReg,
+    v_rd,
+    v_relu,
+    v_sigm,
+    v_tanh,
+    v_wr,
+    vv_add,
+    vv_mul,
+)
+
+
+def vec_chain(*body):
+    return InstructionChain([v_rd(MemId.InitialVrf, 0), *body,
+                             v_wr(MemId.InitialVrf, 1)])
+
+
+class TestStructure:
+    def test_minimal_vector_chain(self):
+        chain = InstructionChain([v_rd(MemId.NetQ),
+                                  v_wr(MemId.InitialVrf, 0)])
+        assert not chain.is_matrix_chain
+        assert not chain.has_mv_mul
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ChainError):
+            InstructionChain([])
+
+    def test_chain_must_start_with_read(self):
+        with pytest.raises(ChainError):
+            InstructionChain([mv_mul(0), v_wr(MemId.InitialVrf, 0)])
+
+    def test_chain_must_end_with_write(self):
+        with pytest.raises(ChainError):
+            InstructionChain([v_rd(MemId.NetQ), v_relu()])
+
+    def test_mv_mul_must_follow_read(self):
+        """The MVM sits at the pipeline head (Fig. 3)."""
+        with pytest.raises(ChainError):
+            vec_chain(v_relu(), mv_mul(0))
+
+    def test_single_mv_mul_chain_valid(self):
+        chain = vec_chain(mv_mul(0))
+        assert chain.has_mv_mul
+        assert chain.mv_mul_index == 0
+
+    def test_v_rd_only_at_start(self):
+        with pytest.raises(ChainError):
+            InstructionChain([v_rd(MemId.NetQ), v_rd(MemId.NetQ),
+                              v_wr(MemId.InitialVrf, 0)])
+
+    def test_control_instructions_rejected_in_chain(self):
+        with pytest.raises(ChainError):
+            InstructionChain([v_rd(MemId.NetQ), end_chain()])
+        with pytest.raises(ChainError):
+            InstructionChain([v_rd(MemId.NetQ), s_wr(ScalarReg.Rows, 2),
+                              v_wr(MemId.InitialVrf, 0)])
+
+    def test_multicast_writes_allowed(self):
+        """A chain may end with multiple v_wr (Section IV-C)."""
+        chain = InstructionChain([
+            v_rd(MemId.InitialVrf, 0), v_tanh(),
+            v_wr(MemId.MultiplyVrf, 1), v_wr(MemId.InitialVrf, 2),
+            v_wr(MemId.NetQ)])
+        assert len(chain.writes) == 3
+
+    def test_op_after_write_rejected(self):
+        with pytest.raises(ChainError):
+            InstructionChain([v_rd(MemId.NetQ),
+                              v_wr(MemId.InitialVrf, 0), v_relu(),
+                              v_wr(MemId.InitialVrf, 1)])
+
+    def test_matrix_chain_exactly_two(self):
+        InstructionChain([m_rd(MemId.NetQ), m_wr(MemId.MatrixRf, 0)])
+        with pytest.raises(ChainError):
+            InstructionChain([m_rd(MemId.NetQ)])
+        with pytest.raises(ChainError):
+            InstructionChain([m_rd(MemId.NetQ), m_wr(MemId.MatrixRf, 0),
+                              m_wr(MemId.Dram, 0)])
+
+    def test_matrix_op_in_vector_chain_rejected(self):
+        with pytest.raises(ChainError):
+            InstructionChain([v_rd(MemId.NetQ), m_wr(MemId.MatrixRf, 0)])
+
+    def test_paper_lstm_c_gate_chain(self):
+        """The c-gate chain from the Section IV-C listing is legal."""
+        chain = InstructionChain([
+            v_rd(MemId.InitialVrf, 0), mv_mul(10), vv_add(1), v_tanh(),
+            vv_mul(2), vv_add(3), v_wr(MemId.MultiplyVrf, 4),
+            v_wr(MemId.InitialVrf, 5)])
+        assert chain.mfus_required() == 2
+
+
+class TestQueries:
+    def test_pointwise_ops_in_order(self):
+        chain = vec_chain(mv_mul(0), vv_add(1), v_sigm(), vv_mul(2))
+        ops = [i.opcode.name for i in chain.pointwise_ops]
+        assert ops == ["VV_ADD", "V_SIGM", "VV_MUL"]
+
+    def test_operand_reads_include_secondary_vrfs(self):
+        chain = vec_chain(mv_mul(3), vv_add(1), vv_mul(2))
+        reads = chain.operand_reads()
+        assert (MemId.InitialVrf, 0) in reads
+        assert (MemId.MatrixRf, 3) in reads
+        assert (MemId.AddSubVrf, 1) in reads
+        assert (MemId.MultiplyVrf, 2) in reads
+
+    def test_operand_writes(self):
+        chain = InstructionChain([
+            v_rd(MemId.NetQ), v_wr(MemId.AddSubVrf, 7), v_wr(MemId.NetQ)])
+        assert chain.operand_writes() == [(MemId.AddSubVrf, 7)]
+
+    def test_equality_and_hash(self):
+        a = vec_chain(v_relu())
+        b = vec_chain(v_relu())
+        c = vec_chain(v_tanh())
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestFuAssignment:
+    def test_single_mfu_all_three_categories(self):
+        chain = vec_chain(vv_add(0), v_sigm(), vv_mul(1))
+        slots = chain.assign_function_units(1)
+        assert all(s.mfu_index == 0 for s in slots)
+        assert {s.category for s in slots} == {
+            FuCategory.ADD_SUB, FuCategory.ACTIVATION,
+            FuCategory.MULTIPLY}
+
+    def test_repeat_category_advances_mfu(self):
+        chain = vec_chain(vv_add(0), vv_add(1))
+        slots = chain.assign_function_units(2)
+        assert [s.mfu_index for s in slots] == [0, 1]
+
+    def test_capacity_error_when_out_of_mfus(self):
+        chain = vec_chain(vv_add(0), vv_add(1), vv_add(2))
+        with pytest.raises(ChainCapacityError):
+            chain.assign_function_units(2)
+
+    def test_mfus_required(self):
+        assert vec_chain().mfus_required() == 0
+        assert vec_chain(v_relu()).mfus_required() == 1
+        assert vec_chain(vv_add(0), v_tanh(), vv_mul(1),
+                         vv_add(2)).mfus_required() == 2
+
+    def test_two_mfus_support_paper_chains(self):
+        """The paper: 'two MFUs are sufficient to support most
+        instruction chains' — all chains in the LSTM listing fit."""
+        gru_htilde = vec_chain(mv_mul(0), vv_mul(0), vv_add(1), v_tanh(),
+                               vv_mul(2), vv_add(3))
+        assert gru_htilde.mfus_required() == 2
+
+
+class TestChainsFromInstructions:
+    def test_split_on_end_chain(self):
+        stream = [v_rd(MemId.NetQ), v_wr(MemId.InitialVrf, 0),
+                  end_chain(), v_rd(MemId.NetQ),
+                  v_wr(MemId.InitialVrf, 1), end_chain()]
+        chains = chains_from_instructions(stream)
+        assert len(chains) == 2
+
+    def test_split_on_new_read(self):
+        stream = [v_rd(MemId.NetQ), v_wr(MemId.InitialVrf, 0),
+                  v_rd(MemId.NetQ), v_wr(MemId.InitialVrf, 1)]
+        assert len(chains_from_instructions(stream)) == 2
+
+    def test_mixed_vector_and_matrix(self):
+        stream = [m_rd(MemId.NetQ), m_wr(MemId.MatrixRf, 0),
+                  v_rd(MemId.InitialVrf, 0), mv_mul(0),
+                  v_wr(MemId.NetQ)]
+        chains = chains_from_instructions(stream)
+        assert len(chains) == 2
+        assert chains[0].is_matrix_chain
+        assert chains[1].has_mv_mul
+
+    def test_trailing_chain_without_end_marker(self):
+        stream = [v_rd(MemId.NetQ), v_wr(MemId.NetQ)]
+        assert len(chains_from_instructions(stream)) == 1
+
+    def test_invalid_fragment_raises(self):
+        with pytest.raises(ChainError):
+            chains_from_instructions([v_rd(MemId.NetQ), end_chain()])

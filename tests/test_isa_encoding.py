@@ -1,0 +1,145 @@
+"""Tests for binary encoding, including a hypothesis round-trip."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.isa import (
+    Instruction,
+    MemId,
+    Opcode,
+    ScalarReg,
+    decode,
+    decode_stream,
+    encode,
+    encode_stream,
+    end_chain,
+    m_rd,
+    mv_mul,
+    s_wr,
+    v_rd,
+    v_tanh,
+    v_wr,
+    vv_add,
+)
+from repro.isa.encoding import MAX_OPERAND
+from repro.isa.opcodes import OperandKind, info
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("instr", [
+        v_rd(MemId.NetQ),
+        v_rd(MemId.InitialVrf, 12),
+        v_wr(MemId.AddSubVrf, 1023),
+        m_rd(MemId.Dram, 7),
+        mv_mul(305),
+        vv_add(0),
+        v_tanh(),
+        s_wr(ScalarReg.Columns, 5),
+        end_chain(),
+    ])
+    def test_roundtrip_examples(self, instr):
+        assert decode(encode(instr)) == instr
+
+    def test_words_are_32_bit(self):
+        assert 0 <= encode(mv_mul(8191)) < (1 << 32)
+
+    def test_operand_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(mv_mul(MAX_OPERAND + 1))
+        with pytest.raises(EncodingError):
+            encode(v_rd(MemId.Dram, MAX_OPERAND + 1))
+
+    def test_max_operand_encodes(self):
+        assert decode(encode(mv_mul(MAX_OPERAND))).index == MAX_OPERAND
+
+    def test_decode_rejects_unknown_opcode(self):
+        with pytest.raises(EncodingError):
+            decode(31 << 27)
+
+    def test_decode_rejects_oversized_word(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 32)
+
+    def test_decode_rejects_bad_memid(self):
+        # V_RD opcode with operand1 = 7 (no such MemId).
+        word = (int(Opcode.V_RD) << 27) | (7 << 13)
+        with pytest.raises(EncodingError):
+            decode(word)
+
+    def test_netq_index_absence_roundtrips(self):
+        instr = decode(encode(v_rd(MemId.NetQ)))
+        assert instr.operand2 is None
+
+
+# -- hypothesis: any well-formed instruction survives a round trip --------
+
+def instruction_strategy():
+    mem_reads = st.builds(
+        v_rd,
+        st.sampled_from([MemId.InitialVrf, MemId.AddSubVrf,
+                         MemId.MultiplyVrf, MemId.Dram]),
+        st.integers(0, MAX_OPERAND))
+    mem_writes = st.builds(
+        v_wr,
+        st.sampled_from([MemId.InitialVrf, MemId.AddSubVrf,
+                         MemId.MultiplyVrf, MemId.Dram]),
+        st.integers(0, MAX_OPERAND))
+    indexed = st.builds(
+        lambda op, idx: Instruction(op, idx),
+        st.sampled_from([Opcode.MV_MUL, Opcode.VV_ADD, Opcode.VV_A_SUB_B,
+                         Opcode.VV_B_SUB_A, Opcode.VV_MAX, Opcode.VV_MUL]),
+        st.integers(0, MAX_OPERAND))
+    unary = st.sampled_from(
+        [Instruction(Opcode.V_RELU), Instruction(Opcode.V_SIGM),
+         Instruction(Opcode.V_TANH), Instruction(Opcode.END_CHAIN)])
+    scalar = st.builds(s_wr, st.sampled_from(list(ScalarReg)),
+                       st.integers(0, MAX_OPERAND))
+    return st.one_of(mem_reads, mem_writes, indexed, unary, scalar)
+
+
+@given(instruction_strategy())
+def test_roundtrip_property(instr):
+    assert decode(encode(instr)) == instr
+
+
+@given(st.lists(instruction_strategy(), max_size=60))
+@settings(max_examples=50)
+def test_stream_roundtrip_property(instructions):
+    data = encode_stream(instructions)
+    assert decode_stream(data) == instructions
+
+
+class TestStreams:
+    def test_stream_header_magic(self):
+        data = encode_stream([end_chain()])
+        assert data[:4] == b"BWNP"
+
+    def test_stream_rejects_corrupt_magic(self):
+        data = bytearray(encode_stream([end_chain()]))
+        data[0] ^= 0xFF
+        with pytest.raises(EncodingError):
+            decode_stream(bytes(data))
+
+    def test_stream_rejects_truncation(self):
+        data = encode_stream([end_chain(), v_tanh()])
+        with pytest.raises(EncodingError):
+            decode_stream(data[:-2])
+
+    def test_stream_rejects_short_header(self):
+        with pytest.raises(EncodingError):
+            decode_stream(b"BW")
+
+    def test_empty_stream(self):
+        assert decode_stream(encode_stream([])) == []
+
+    def test_program_stream_roundtrips(self):
+        """A compiled program's dynamic stream encodes and decodes."""
+        from repro.compiler.lowering import compile_rnn_shape
+        from repro.config import NpuConfig
+        cfg = NpuConfig(name="t", tile_engines=2, lanes=4, native_dim=16,
+                        mrf_size=64)
+        compiled = compile_rnn_shape("gru", 24, cfg)
+        stream = list(compiled.program.instruction_stream({"steps": 2}))
+        assert decode_stream(encode_stream(stream)) == stream

@@ -1,0 +1,135 @@
+"""Tests for the request-level serving simulation."""
+
+import numpy as np
+import pytest
+
+from repro.system.loadgen import (
+    Batch1Server,
+    BatchingServer,
+    LoadError,
+    compare_under_load,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+
+
+class TestArrivals:
+    def test_poisson_mean_rate(self):
+        times = poisson_arrivals(100.0, 5000, seed=1)
+        measured = len(times) / times[-1]
+        assert measured == pytest.approx(100.0, rel=0.1)
+
+    def test_poisson_monotone(self):
+        times = poisson_arrivals(10.0, 100, seed=2)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_uniform_spacing(self):
+        times = uniform_arrivals(4.0, 4)
+        assert times == [0.25, 0.5, 0.75, 1.0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(LoadError):
+            poisson_arrivals(0, 10)
+        with pytest.raises(LoadError):
+            uniform_arrivals(5, 0)
+
+
+class TestBatch1Server:
+    def test_idle_server_latency_is_service_time(self):
+        server = Batch1Server(0.001)
+        result = server.simulate(uniform_arrivals(10.0, 20))
+        assert result.p50_ms == pytest.approx(1.0)
+        assert result.p99_ms == pytest.approx(1.0)
+
+    def test_saturated_server_queues(self):
+        server = Batch1Server(0.01)  # 100 req/s capacity
+        result = server.simulate(uniform_arrivals(200.0, 100))
+        # Every second request waits behind the previous one.
+        assert result.p99_ms > 10.0
+        latencies = [r.latency for r in result.requests]
+        assert latencies == sorted(latencies)  # waits grow monotonically
+
+    def test_fifo_order(self):
+        server = Batch1Server(0.002)
+        result = server.simulate([0.0, 0.0005, 0.001])
+        starts = [r.start for r in result.requests]
+        assert starts == sorted(starts)
+        assert starts[1] == pytest.approx(0.002)
+
+    def test_capacity(self):
+        assert Batch1Server(0.004).capacity_rps == pytest.approx(250.0)
+
+    def test_invalid_service_time(self):
+        with pytest.raises(LoadError):
+            Batch1Server(0.0)
+
+
+class TestBatchingServer:
+    @staticmethod
+    def linear_service(base=0.01, per=0.001):
+        return lambda b: base + per * b
+
+    def test_low_load_waits_for_timeout(self):
+        """A lone request waits the full forming timeout."""
+        server = BatchingServer(self.linear_service(), max_batch=8,
+                                timeout_s=0.05)
+        result = server.simulate([0.0])
+        assert result.requests[0].start == pytest.approx(0.05)
+
+    def test_full_batch_dispatches_without_timeout(self):
+        server = BatchingServer(self.linear_service(), max_batch=4,
+                                timeout_s=10.0)
+        arrivals = [0.0, 0.001, 0.002, 0.003]
+        result = server.simulate(arrivals)
+        assert result.requests[0].start == pytest.approx(0.003)
+
+    def test_batch_size_capped(self):
+        server = BatchingServer(self.linear_service(), max_batch=2,
+                                timeout_s=1.0)
+        result = server.simulate([0.0, 0.0, 0.0, 0.0])
+        starts = sorted({r.start for r in result.requests})
+        assert len(starts) == 2  # two batches of two
+
+    def test_batchmates_share_finish_time(self):
+        server = BatchingServer(self.linear_service(), max_batch=4,
+                                timeout_s=0.01)
+        result = server.simulate([0.0, 0.001, 0.002])
+        finishes = {r.finish for r in result.requests}
+        assert len(finishes) == 1
+
+    def test_capacity_uses_full_batches(self):
+        service = self.linear_service(0.01, 0.001)
+        server = BatchingServer(service, max_batch=10, timeout_s=0.01)
+        assert server.capacity_rps() == pytest.approx(10 / 0.02)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(LoadError):
+            BatchingServer(self.linear_service(), 0, 0.1)
+        with pytest.raises(LoadError):
+            BatchingServer(self.linear_service(), 4, -1.0)
+
+
+class TestComparison:
+    def test_batch1_wins_latency_under_light_load(self):
+        comparisons = compare_under_load(
+            bw_service_s=0.001,
+            gpu_batch_service=lambda b: 0.05 + 0.002 * b,
+            max_batch=16, timeout_s=0.02, rates_rps=(50,),
+            requests=400, seed=3)
+        comp = comparisons[0]
+        assert comp.bw.p99_ms < 5.0
+        assert comp.gpu.p99_ms > 10 * comp.bw.p99_ms
+
+    def test_throughput_reported(self):
+        comparisons = compare_under_load(
+            bw_service_s=0.001,
+            gpu_batch_service=lambda b: 0.05 + 0.002 * b,
+            max_batch=16, timeout_s=0.02, rates_rps=(100,),
+            requests=400, seed=4)
+        assert comparisons[0].bw.throughput_rps == pytest.approx(
+            100, rel=0.2)
+
+    def test_empty_result_raises(self):
+        from repro.system.loadgen import LoadResult
+        with pytest.raises(LoadError):
+            LoadResult([]).percentile_latency(50)

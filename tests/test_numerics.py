@@ -1,0 +1,203 @@
+"""Tests for block floating-point numerics, including hypothesis
+properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ConfigError
+from repro.numerics import (
+    MSFP_CNN,
+    MSFP_RNN,
+    BfpFormat,
+    bfp_dot,
+    block_exponents,
+    error_stats,
+    expected_snr_db,
+    mantissa_sweep,
+    matvec_stats,
+    quantization_stats,
+    quantization_step,
+    quantize,
+    quantize_with_info,
+    to_float16,
+)
+
+
+FMT = BfpFormat(mantissa_bits=4, exponent_bits=5, block_size=8)
+
+
+class TestFormat:
+    def test_paper_formats(self):
+        assert MSFP_RNN.name == "1s.5e.2m"
+        assert MSFP_CNN.name == "1s.5e.5m"
+
+    def test_exponent_range_5bit(self):
+        fmt = BfpFormat(2, exponent_bits=5, block_size=8)
+        assert fmt.exponent_bias == 15
+        assert fmt.min_exponent == -15
+        assert fmt.max_exponent == 16
+
+    def test_bits_per_element_amortizes_exponent(self):
+        fmt = BfpFormat(2, exponent_bits=5, block_size=128)
+        assert fmt.bits_per_element == pytest.approx(3 + 5 / 128)
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(ConfigError):
+            BfpFormat(0)
+        with pytest.raises(ConfigError):
+            BfpFormat(2, exponent_bits=1)
+        with pytest.raises(ConfigError):
+            BfpFormat(2, block_size=0)
+
+    def test_max_mantissa(self):
+        assert BfpFormat(3).max_mantissa == 7
+
+
+class TestQuantize:
+    def test_zero_block_stays_zero(self):
+        x = np.zeros(8, dtype=np.float32)
+        assert np.all(quantize(x, FMT) == 0)
+
+    def test_values_on_the_quantization_grid_are_exact(self):
+        # Block max 4.0 -> exponent 2 -> step 0.5 at 4 mantissa bits;
+        # all multiples of 0.5 within +/-7.5 are exactly representable.
+        x = np.array([4.0, 2.0, 1.0, 0.5, -4.0, -2.0, -1.0, -0.5],
+                     dtype=np.float32)
+        assert np.allclose(quantize(x, FMT), x)
+
+    def test_quantization_error_bounded_by_step(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-3, 3, 64).astype(np.float32)
+        q = quantize(x, FMT)
+        exps = block_exponents(x, FMT)
+        for b in range(8):
+            step = quantization_step(FMT, int(exps[b]))
+            err = np.abs(q[b * 8:(b + 1) * 8] - x[b * 8:(b + 1) * 8])
+            assert np.all(err <= step / 2 + 1e-12)
+
+    def test_block_exponent_is_floor_log2_of_max(self):
+        x = np.array([0.1, 0.2, 0.3, 0.4, 5.0, 0.6, 0.7, 0.8])
+        assert block_exponents(x, FMT)[0] == 2  # floor(log2 5) = 2
+
+    def test_bad_block_length_rejected(self):
+        with pytest.raises(ValueError):
+            quantize(np.ones(7), FMT)
+
+    def test_2d_quantization_blocks_along_last_axis(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, (4, 16)).astype(np.float32)
+        q = quantize(x, FMT)
+        assert q.shape == x.shape
+        # Each row quantizes independently the same way.
+        q_row = quantize(x[2], FMT)
+        assert np.array_equal(q[2], q_row)
+
+    def test_mantissas_within_range(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(0, 10, 128).astype(np.float32)
+        _, mantissas, _ = quantize_with_info(x, FMT)
+        assert np.all(np.abs(mantissas) <= FMT.max_mantissa)
+
+    def test_large_values_clamped_to_exponent_range(self):
+        x = np.full(8, 1e30, dtype=np.float32)
+        q = quantize(x, FMT)
+        assert np.all(np.isfinite(q))
+
+    def test_to_float16_rounds(self):
+        x = np.array([1.0 + 2 ** -12], dtype=np.float32)
+        assert to_float16(x)[0] == 1.0
+
+
+# -- hypothesis properties ------------------------------------------------
+
+finite_blocks = hnp.arrays(
+    np.float64, (16,),
+    elements=st.floats(-1e4, 1e4, allow_nan=False, width=32))
+
+
+@given(finite_blocks)
+@settings(max_examples=100)
+def test_quantization_idempotent(x):
+    """Quantizing a quantized array changes nothing."""
+    fmt = BfpFormat(mantissa_bits=3, block_size=16)
+    once = quantize(x, fmt)
+    twice = quantize(once, fmt)
+    assert np.array_equal(once, twice)
+
+
+@given(finite_blocks)
+@settings(max_examples=100)
+def test_quantization_preserves_sign(x):
+    fmt = BfpFormat(mantissa_bits=3, block_size=16)
+    q = quantize(x, fmt)
+    assert np.all(q * x >= 0)
+
+
+@given(finite_blocks)
+@settings(max_examples=100)
+def test_more_mantissa_bits_never_worse(x):
+    """Error is monotonically non-increasing in mantissa width."""
+    errs = []
+    for m in (2, 4, 6):
+        fmt = BfpFormat(mantissa_bits=m, block_size=16)
+        errs.append(float(np.max(np.abs(quantize(x, fmt) - x))))
+    assert errs[0] >= errs[1] >= errs[2]
+
+
+@given(finite_blocks, st.floats(0.25, 4.0))
+@settings(max_examples=60)
+def test_quantization_scale_covariant_for_pow2(x, _scale):
+    """Scaling inputs by a power of two scales outputs identically."""
+    fmt = BfpFormat(mantissa_bits=3, block_size=16)
+    assert np.allclose(quantize(x * 2.0, fmt), 2.0 * quantize(x, fmt),
+                       rtol=1e-6, atol=1e-30)
+
+
+class TestAnalysis:
+    def test_error_stats_zero_error(self):
+        x = np.ones(16)
+        stats = error_stats(x, x)
+        assert stats.snr_db == float("inf")
+        assert stats.max_abs_error == 0
+
+    def test_error_stats_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            error_stats(np.ones(4), np.ones(5))
+
+    def test_snr_improves_with_mantissa(self, rng):
+        x = rng.normal(0, 1, 1024)
+        sweep = mantissa_sweep(x, block_size=128)
+        snrs = [sweep[m].snr_db for m in (2, 3, 4, 5)]
+        assert snrs == sorted(snrs)
+
+    def test_snr_exceeds_analytic_floor(self, rng):
+        """SNR should beat the (generous) analytic floor for Gaussian
+        data — the Section VI claim that 2-5 mantissa bits suffice."""
+        x = rng.normal(0, 1, 4096)
+        for m in (2, 3, 4, 5):
+            fmt = BfpFormat(mantissa_bits=m, block_size=128)
+            stats = quantization_stats(x, fmt)
+            assert stats.snr_db > expected_snr_db(fmt) - 3
+
+    def test_matvec_error_small_at_5bits(self, rng):
+        matrix = rng.uniform(-1, 1, (128, 128))
+        vector = rng.uniform(-1, 1, 128)
+        stats = matvec_stats(matrix, vector,
+                             BfpFormat(mantissa_bits=5, block_size=128))
+        assert stats.rel_rms_error < 0.05
+
+    def test_bfp_dot_matches_quantized_reference(self, rng):
+        fmt = BfpFormat(mantissa_bits=4, block_size=16)
+        a = rng.uniform(-1, 1, 16)
+        b = rng.uniform(-1, 1, 16)
+        expected = np.float16(
+            quantize(a, fmt).astype(np.float64)
+            @ quantize(b, fmt).astype(np.float64))
+        assert bfp_dot(a, b, fmt) == expected
+
+    def test_str_rendering(self):
+        stats = quantization_stats(np.linspace(-1, 1, 128), MSFP_RNN)
+        assert "SNR" in str(stats)

@@ -1,0 +1,171 @@
+"""Tests for the datacenter serving layer: network, microservices,
+federated runtime, and the bidirectional-RNN split."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_lstm
+from repro.models import LstmReference
+from repro.system import (
+    BidirectionalRnnService,
+    CpuStage,
+    FederatedRuntime,
+    FpgaNode,
+    FpgaStage,
+    HardwareMicroservice,
+    Locality,
+    MicroserviceRegistry,
+    NetworkModel,
+    ServiceError,
+)
+
+
+@pytest.fixture
+def compiled(small_config):
+    return compile_lstm(LstmReference(16, 16, seed=0), small_config)
+
+
+def make_service(compiled, name="svc"):
+    return HardwareMicroservice(name, FpgaNode(name + "-node", compiled))
+
+
+class TestNetworkModel:
+    def test_locality_ordering(self):
+        net = NetworkModel()
+        lat = [net.propagation_us(loc) for loc in
+               (Locality.SAME_NODE, Locality.SAME_RACK,
+                Locality.SAME_POD, Locality.SAME_DATACENTER)]
+        assert lat == sorted(lat)
+
+    def test_serialization_time(self):
+        net = NetworkModel(line_rate_gbps=40.0)
+        # 5000 bytes at 40 Gb/s = 1 us.
+        assert net.serialization_us(5000) == pytest.approx(1.0)
+
+    def test_transfer_combines_terms(self):
+        net = NetworkModel()
+        assert net.transfer_us(5000) == pytest.approx(
+            net.propagation_us(Locality.SAME_RACK)
+            + net.serialization_us(5000))
+
+    def test_round_trip(self):
+        net = NetworkModel()
+        assert net.round_trip_us(1000, 1000) == pytest.approx(
+            2 * net.transfer_us(1000))
+
+    def test_same_datacenter_single_digit_tens_of_us(self):
+        """Point-to-point latency stays in the LTL regime."""
+        net = NetworkModel()
+        assert net.transfer_us(1600, Locality.SAME_DATACENTER) < 25
+
+
+class TestMicroservice:
+    def test_registry_publish_and_lookup(self, compiled):
+        reg = MicroserviceRegistry()
+        svc = make_service(compiled)
+        address = reg.publish(svc)
+        assert reg.lookup("svc") is svc
+        assert address.startswith("10.")
+        assert len(reg) == 1
+
+    def test_duplicate_publish_rejected(self, compiled):
+        reg = MicroserviceRegistry()
+        reg.publish(make_service(compiled))
+        with pytest.raises(ServiceError):
+            reg.publish(make_service(compiled))
+
+    def test_unknown_lookup(self):
+        with pytest.raises(ServiceError):
+            MicroserviceRegistry().lookup("ghost")
+
+    def test_invocation_latency_breakdown(self, compiled):
+        svc = make_service(compiled)
+        result = svc.invoke(steps=5)
+        assert result.network_in_s > 0
+        assert result.compute_s > 0
+        assert result.total_s == pytest.approx(
+            result.network_in_s + result.compute_s
+            + result.network_out_s)
+
+    def test_compute_dominates_network(self, compiled):
+        """For RNN serving the NPU compute dwarfs the network hops."""
+        result = make_service(compiled).invoke(steps=50)
+        assert result.compute_s > 5 * (result.network_in_s
+                                       + result.network_out_s)
+
+    def test_functional_invocation_matches_reference(self, compiled,
+                                                     rng):
+        model = LstmReference(16, 16, seed=0)
+        xs = [rng.uniform(-1, 1, 16).astype(np.float32)
+              for _ in range(4)]
+        result = make_service(compiled).invoke(
+            steps=4, functional_inputs=xs)
+        want = model.run(xs)
+        assert np.allclose(result.outputs[-1], want[-1], atol=1e-5)
+
+    def test_functional_input_count_checked(self, compiled, rng):
+        svc = make_service(compiled)
+        with pytest.raises(ServiceError):
+            svc.invoke(steps=3,
+                       functional_inputs=[rng.uniform(-1, 1, 16)])
+
+
+class TestFederatedRuntime:
+    def test_cpu_fpga_plan(self, compiled, rng):
+        reg = MicroserviceRegistry()
+        reg.publish(make_service(compiled, "lstm"))
+        runtime = FederatedRuntime(reg)
+        xs = [rng.uniform(-1, 1, 16).astype(np.float32)
+              for _ in range(3)]
+        scale = CpuStage("scale", lambda seq: [0.5 * x for x in seq])
+        plan = [scale, FpgaStage("rnn", "lstm")]
+        result = runtime.execute(plan, xs, functional=True)
+        model = LstmReference(16, 16, seed=0)
+        want = model.run([0.5 * x for x in xs])
+        assert np.allclose(result.value[-1], want[-1], atol=1e-5)
+        assert len(result.stage_latencies) == 2
+        assert result.total_latency_s == pytest.approx(
+            sum(result.stage_latencies))
+
+    def test_latency_only_mode(self, compiled, rng):
+        reg = MicroserviceRegistry()
+        reg.publish(make_service(compiled, "lstm"))
+        runtime = FederatedRuntime(reg)
+        xs = [rng.uniform(-1, 1, 16).astype(np.float32)
+              for _ in range(3)]
+        result = runtime.execute([FpgaStage("rnn", "lstm")], xs,
+                                 functional=False)
+        assert result.total_latency_s > 0
+
+
+class TestBidirectionalRnn:
+    def test_concat_of_forward_and_reversed_backward(self, small_config,
+                                                     rng):
+        """Section II-A: forward and backward halves on two FPGAs,
+        outputs concatenated per timestep."""
+        fwd_model = LstmReference(16, 16, seed=1)
+        bwd_model = LstmReference(16, 16, seed=2)
+        reg = MicroserviceRegistry()
+        reg.publish(make_service(compile_lstm(fwd_model, small_config),
+                                 "fwd"))
+        reg.publish(make_service(compile_lstm(bwd_model, small_config),
+                                 "bwd"))
+        service = BidirectionalRnnService(reg, "fwd", "bwd")
+        xs = [rng.uniform(-1, 1, 16).astype(np.float32)
+              for _ in range(4)]
+        result = service.invoke(xs, functional=True)
+        fwd_want = fwd_model.run(xs)
+        bwd_want = bwd_model.run(list(reversed(xs)))
+        for t in range(4):
+            want = np.concatenate([fwd_want[t], bwd_want[3 - t]])
+            assert np.allclose(result.value[t], want, atol=1e-5)
+
+    def test_latency_is_max_of_halves(self, compiled):
+        reg = MicroserviceRegistry()
+        reg.publish(make_service(compiled, "fwd"))
+        reg.publish(make_service(compiled, "bwd"))
+        service = BidirectionalRnnService(reg, "fwd", "bwd")
+        result = service.invoke([np.zeros(16, dtype=np.float32)] * 3)
+        fwd_lat, bwd_lat, concat = result.stage_latencies
+        assert result.total_latency_s == pytest.approx(
+            max(fwd_lat, bwd_lat) + concat)

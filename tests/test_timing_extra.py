@@ -1,0 +1,94 @@
+"""Additional timing-model coverage: CNN path details, replay on
+matrix chains, cross-config behaviour."""
+
+import pytest
+
+from repro.compiler.lowering import compile_rnn_shape
+from repro.compiler.streaming import compile_lstm_streamed_shape
+from repro.config import BW_A10, BW_CNN_A10, BW_S5, BW_S10
+from repro.models.cnn import TABLE1_CNN_3X3, ConvSpec
+from repro.timing import TimingSimulator, steady_state_cycles_per_step
+from repro.timing.cnn import (
+    CnnLayerTiming,
+    block_packed_conv_cycles,
+    conv_layer_stream_cycles,
+    network_timing,
+)
+
+
+class TestCrossConfig:
+    @pytest.mark.parametrize("config", [BW_S5, BW_A10, BW_S10],
+                             ids=lambda c: c.name)
+    def test_gru_runs_on_every_generation(self, config):
+        """The same program model times on all three instances; bigger
+        generations are never slower per step."""
+        hidden = 256  # fits even the Stratix V MRF
+        per = steady_state_cycles_per_step(
+            config, lambda: compile_rnn_shape("gru", hidden, config),
+            steps_a=6, steps_b=16)
+        assert per > 0
+
+    def test_generational_speedup_on_large_model(self):
+        """A large GRU is MVM-bound, so BW_S10's wider MVM beats
+        BW_A10's in wall-clock per step."""
+        hidden = 2048
+        times = {}
+        for config in (BW_A10, BW_S10):
+            cfg = config if config.mrf_capacity_elements >= \
+                6 * hidden * hidden else config.replace(
+                    mrf_size=config.mrf_size * 4)
+            per = steady_state_cycles_per_step(
+                cfg, lambda c=cfg: compile_rnn_shape("gru", hidden, c),
+                steps_a=6, steps_b=16)
+            times[config.name] = per * cfg.cycle_time_s
+        assert times["BW_S10"] < times["BW_A10"]
+
+
+class TestReplayOnStreams:
+    def test_replay_does_not_change_transfer_time(self):
+        """Replay caches decode, not the DRAM port: streamed weights
+        stay bandwidth-bound."""
+        compiled = compile_lstm_streamed_shape(1024, BW_S10)
+        plain = TimingSimulator(BW_S10).run(
+            compiled.program, bindings={"steps": 6},
+            include_invocation_overhead=False).total_cycles
+        replay = TimingSimulator(BW_S10, replay_loops=True).run(
+            compiled.program, bindings={"steps": 6},
+            include_invocation_overhead=False).total_cycles
+        assert replay == pytest.approx(plain, rel=0.05)
+
+
+class TestCnnPathDetails:
+    def test_layer_timing_dataclass(self):
+        layer = CnnLayerTiming(name="l", spec=TABLE1_CNN_3X3,
+                               compute_cycles=100.0, stream_cycles=40.0)
+        assert layer.cycles == 100.0
+        assert not layer.stream_bound
+
+    def test_block_packing_monotone_in_pixels(self):
+        small = ConvSpec(14, 14, 64, kernels=64, kernel_h=3, kernel_w=3)
+        large = ConvSpec(28, 28, 64, kernels=64, kernel_h=3, kernel_w=3)
+        assert block_packed_conv_cycles(large, BW_S10) > \
+            block_packed_conv_cycles(small, BW_S10)
+
+    def test_stream_cycles_inverse_in_bandwidth(self):
+        spec = TABLE1_CNN_3X3
+        slow = conv_layer_stream_cycles(spec, BW_CNN_A10, 7.0)
+        fast = conv_layer_stream_cycles(spec, BW_CNN_A10, 28.0)
+        assert slow == pytest.approx(4 * fast)
+
+    def test_network_timing_custom_layers(self):
+        from repro.models.resnet import NetworkLayer
+        layers = [NetworkLayer("only", TABLE1_CNN_3X3)]
+        timing = network_timing(BW_CNN_A10, layers)
+        assert len(timing.layers) == 1
+        assert timing.total_ops == TABLE1_CNN_3X3.matmul_ops
+
+    def test_repeated_layers_scale_cycles(self):
+        from repro.models.resnet import NetworkLayer
+        once = network_timing(BW_CNN_A10,
+                              [NetworkLayer("l", TABLE1_CNN_3X3, 1)])
+        thrice = network_timing(BW_CNN_A10,
+                                [NetworkLayer("l", TABLE1_CNN_3X3, 3)])
+        assert thrice.compute_cycles == pytest.approx(
+            3 * once.compute_cycles)
