@@ -11,14 +11,12 @@ the scheduler features to quantify each mechanism's contribution:
 """
 
 import numpy as np
-import pytest
 
 from repro.compiler.lowering import compile_rnn_shape
 from repro.config import BW_S10
 from repro.harness.tables import ExperimentTable
 from repro.numerics import BfpFormat, quantization_stats
 from repro.timing import TimingSimulator
-from repro.timing.scheduler import steady_state_cycles_per_step
 
 
 def _per_step(config, kind="gru", hidden=1536, **sim_kwargs):
@@ -56,7 +54,6 @@ def test_native_dim_ablation(benchmark, emit):
 
     table = benchmark(sweep)
     emit(table, "ablation_native_dim")
-    per_steps = [float(r[3]) for r in table.rows]
     # N=384 divides 1536 exactly: it should be at least as good as 512.
     n384 = float(table.rows[2][3])
     n512 = float(table.rows[4][3])

@@ -4,7 +4,6 @@ Regenerates the UDM/SDM/BW-cycle comparison for the four Table I
 workloads and checks the reproduced values against the published ones.
 """
 
-import pytest
 
 from repro.harness import table1
 

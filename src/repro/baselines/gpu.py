@@ -27,7 +27,6 @@ benchmarks report model-vs-published side by side.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
 
 
 @dataclasses.dataclass(frozen=True)

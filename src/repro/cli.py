@@ -9,6 +9,8 @@ Commands:
 * ``time <kind> <hidden> <steps>`` — latency/throughput of one RNN on a
   configuration;
 * ``disassemble <kind> <hidden>`` — print the generated NPU program;
+* ``serve-faults`` — availability/goodput/latency of replicated
+  microservice serving under injected faults;
 * ``specialize <kind> <hidden> <device>`` — best synthesis-specialized
   instance for a model on a device.
 """
@@ -90,6 +92,16 @@ def _cmd_disassemble(args) -> int:
     return 0
 
 
+def _cmd_serve_faults(args) -> int:
+    from .harness.experiments import slo_under_faults
+    table = slo_under_faults(requests=args.requests,
+                             rate_rps=args.rate,
+                             transient_prob=args.transient,
+                             replicas=args.replicas, seed=args.seed)
+    print(table.render())
+    return 0
+
+
 def _cmd_specialize(args) -> int:
     from .synthesis import best_config, device_by_name, rnn_requirements
     try:
@@ -139,6 +151,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--config", default="BW_S10",
                    choices=sorted(STANDARD_CONFIGS))
     p.set_defaults(func=_cmd_disassemble)
+
+    p = sub.add_parser("serve-faults",
+                       help="fault-tolerant serving scenario: replicas, "
+                            "retries, hedging vs a naive client")
+    p.add_argument("--requests", type=int, default=3000)
+    p.add_argument("--rate", type=float, default=400.0,
+                   help="Poisson arrival rate (req/s)")
+    p.add_argument("--transient", type=float, default=0.02,
+                   help="per-invocation transient failure probability")
+    p.add_argument("--replicas", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_serve_faults)
 
     p = sub.add_parser("specialize",
                        help="pick the best instance for a model")

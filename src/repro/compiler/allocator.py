@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, Optional
+from typing import Dict
 
 from ..config import NpuConfig
 from ..errors import CapacityError

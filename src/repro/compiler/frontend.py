@@ -6,7 +6,6 @@ into GIR, Section II-B).
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -84,7 +83,7 @@ def gru_to_gir(model: GruReference, steps: int = 1,
                   [f"xWb_{gate}_{t}", f"hU_{gate}_{t}"], shape=(h,))
             g.add(f"act_{gate}_{t}", "sigmoid", [f"pre_{gate}_{t}"],
                   shape=(h,))
-        g.add(f"hU_h_{t}", "matmul", [f"U_h", h_prev], shape=(h,))
+        g.add(f"hU_h_{t}", "matmul", ["U_h", h_prev], shape=(h,))
         g.add(f"rUh_{t}", "mul", [f"act_r_{t}", f"hU_h_{t}"], shape=(h,))
         g.add(f"pre_h_{t}", "add", [f"xWb_h_{t}", f"rUh_{t}"], shape=(h,))
         g.add(f"htilde_{t}", "tanh", [f"pre_h_{t}"], shape=(h,))

@@ -14,7 +14,7 @@ partitioner need (weight footprint, per-matmul tile counts).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from ..errors import CompileError
 

@@ -25,7 +25,6 @@ numpy references in the test suite).
 from __future__ import annotations
 
 import dataclasses
-import math
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np

@@ -17,14 +17,14 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
 from ..config import NpuConfig
 from ..errors import CompileError
 from ..functional.executor import FunctionalSimulator
-from ..isa.memspace import MemId, ScalarReg
+from ..isa.memspace import MemId
 from ..isa.program import NpuProgram, ProgramBuilder
 from ..models.cnn import ConvSpec, im2col
 from ..models.gru import GruReference

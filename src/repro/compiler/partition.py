@@ -16,7 +16,6 @@ example).
 from __future__ import annotations
 
 import dataclasses
-import math
 from typing import List, Sequence, Tuple
 
 from ..config import NpuConfig

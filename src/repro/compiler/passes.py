@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Set, Tuple
+from typing import List, Set, Tuple
 
 from ..config import NpuConfig
 from ..errors import CompileError

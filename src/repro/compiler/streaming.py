@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-import numpy as np
 
 from ..config import NpuConfig
 from ..errors import CompileError

@@ -12,7 +12,7 @@ CPU sub-graph), streaming patch vectors over the network queue.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

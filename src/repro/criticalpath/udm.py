@@ -9,7 +9,7 @@ latency, "capturing all available parallelism of a single DNN request".
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence
+from typing import Sequence
 
 from .dfg import Dfg, recurrent_cycle_depth
 

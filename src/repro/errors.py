@@ -60,5 +60,25 @@ class SynthesisError(ReproError):
     """A configuration does not fit the target FPGA device."""
 
 
+class FaultError(ReproError):
+    """An injected fault (node crash, transient failure, packet loss).
+
+    ``kind`` names the fault category: ``"node_down"``, ``"crash"``, or
+    ``"transient"``.
+    """
+
+    def __init__(self, message: str, kind: str = "transient"):
+        super().__init__(message)
+        self.kind = kind
+
+
+class DeadlineExceededError(ReproError):
+    """A request could not complete within its SLO deadline."""
+
+
+class AllReplicasDownError(ReproError):
+    """Every replica of a service is crashed or circuit-broken."""
+
+
 class ConfigError(ReproError):
     """An NPU configuration is internally inconsistent."""

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence
+from typing import List
 
 
 @dataclasses.dataclass

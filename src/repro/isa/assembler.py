@@ -20,12 +20,12 @@ start with ``#`` or ``//``. The assembler produces an
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Union
+from typing import List, Union
 
 from ..errors import AssemblerError
 from .chain import InstructionChain
 from .memspace import MemId, ScalarReg
-from .opcodes import MNEMONIC_INFO, Opcode, OperandKind
+from .opcodes import MNEMONIC_INFO, OperandKind
 from .program import Loop, NpuProgram, ProgramBuilder, SetScalar
 
 _COMMENT_RE = re.compile(r"(#|//).*$")

@@ -21,7 +21,6 @@ from ..errors import ChainError, IsaError
 from .chain import InstructionChain
 from .instructions import Instruction
 from .memspace import MemId, ScalarReg
-from .opcodes import Opcode
 
 
 @dataclasses.dataclass(frozen=True)

@@ -10,7 +10,6 @@ structure is exposed for the timing model and tests.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

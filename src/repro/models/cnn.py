@@ -11,7 +11,6 @@ and :func:`im2col` provide the exact semantics used for verification.
 from __future__ import annotations
 
 import dataclasses
-import math
 from typing import Optional, Tuple
 
 import numpy as np

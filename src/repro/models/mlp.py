@@ -7,7 +7,7 @@ BW NPU's L2 matrix-vector focus targets (Section IV-B).
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

@@ -12,7 +12,7 @@ the federated runtime); everything downstream lowers onto the NPU.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -1,4 +1,4 @@
-"""Datacenter-scale serving: network, microservices, federated runtime."""
+"""Datacenter-scale serving: network, microservices, faults, runtime."""
 
 from .network import Locality, NetworkModel
 from .microservice import (
@@ -8,14 +8,25 @@ from .microservice import (
     MicroserviceRegistry,
     ServiceError,
 )
+from .faults import (
+    FaultInjector,
+    FaultProfile,
+    FaultSample,
+    InvocationOutcome,
+    ResilientClient,
+    RetryPolicy,
+)
 from .loadgen import (
     Batch1Server,
     BatchingServer,
+    FaultEvent,
+    FaultScenarioResult,
     LoadResult,
     ServedRequest,
     SloComparison,
     compare_under_load,
     poisson_arrivals,
+    run_fault_scenario,
     uniform_arrivals,
 )
 from .runtime import (
@@ -29,8 +40,11 @@ from .runtime import (
 __all__ = [
     "Locality", "NetworkModel", "FpgaNode", "HardwareMicroservice",
     "InvocationResult", "MicroserviceRegistry", "ServiceError",
+    "FaultInjector", "FaultProfile", "FaultSample", "InvocationOutcome",
+    "ResilientClient", "RetryPolicy",
     "BidirectionalRnnService", "CpuStage", "FederatedRuntime",
     "FpgaStage", "PlanResult", "Batch1Server", "BatchingServer",
-    "LoadResult", "ServedRequest", "SloComparison",
-    "compare_under_load", "poisson_arrivals", "uniform_arrivals",
+    "FaultEvent", "FaultScenarioResult", "LoadResult", "ServedRequest",
+    "SloComparison", "compare_under_load", "poisson_arrivals",
+    "run_fault_scenario", "uniform_arrivals",
 ]

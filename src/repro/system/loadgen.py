@@ -21,12 +21,12 @@ rate.
 from __future__ import annotations
 
 import dataclasses
-import math
-from typing import Callable, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..errors import ReproError
+from .faults import FaultInjector, InvocationOutcome, ResilientClient
 
 
 class LoadError(ReproError):
@@ -175,6 +175,137 @@ class SloComparison:
     rate_rps: float
     bw: LoadResult
     gpu: LoadResult
+
+
+# ---------------------------------------------------------------------------
+# Fault-aware serving scenarios
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """A scheduled liveness change: crash or repair a node at a time."""
+
+    time_s: float
+    action: str  # "crash" | "repair"
+    node: str
+
+    def __post_init__(self) -> None:
+        if self.action not in ("crash", "repair"):
+            raise LoadError(f"unknown fault action {self.action!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultScenarioResult:
+    """Availability/goodput/latency statistics of one fault scenario."""
+
+    outcomes: List[InvocationOutcome]
+    #: Request arrival times, aligned with ``outcomes``.
+    arrivals: List[float]
+    #: Injected-fault counts by category, snapshotted at scenario end.
+    fault_counts: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def served(self) -> int:
+        return sum(1 for o in self.outcomes if o.ok)
+
+    @property
+    def failed(self) -> int:
+        return self.total - self.served
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests that produced a result at all."""
+        if not self.outcomes:
+            raise LoadError("no requests issued")
+        return self.served / self.total
+
+    @property
+    def slo_met(self) -> int:
+        return sum(1 for o in self.outcomes if o.deadline_met)
+
+    @property
+    def goodput_rps(self) -> float:
+        """Deadline-met completions per second of scenario time."""
+        span = self.span_s
+        return self.slo_met / span if span > 0 else float("inf")
+
+    @property
+    def span_s(self) -> float:
+        """First arrival to last finish (seconds)."""
+        if not self.outcomes:
+            raise LoadError("no requests issued")
+        last_finish = max(a + o.latency_s
+                          for a, o in zip(self.arrivals, self.outcomes))
+        return last_finish - self.arrivals[0]
+
+    def percentile_latency_ms(self, q: float) -> float:
+        """Latency percentile over *successful* requests (ms)."""
+        lat = [o.latency_s for o in self.outcomes if o.ok]
+        if not lat:
+            raise LoadError("no successful requests")
+        return float(np.percentile(lat, q)) * 1e3
+
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile_latency_ms(50)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile_latency_ms(99)
+
+    @property
+    def p999_ms(self) -> float:
+        return self.percentile_latency_ms(99.9)
+
+    @property
+    def mean_attempts(self) -> float:
+        return float(np.mean([o.attempts for o in self.outcomes]))
+
+    @property
+    def hedged(self) -> int:
+        return sum(1 for o in self.outcomes if o.hedged)
+
+
+def run_fault_scenario(client: ResilientClient, service: str,
+                       arrivals: Sequence[float], steps: int,
+                       injector: Optional[FaultInjector] = None,
+                       events: Sequence[FaultEvent] = ()
+                       ) -> FaultScenarioResult:
+    """Drive ``arrivals`` through a resilient client under faults.
+
+    Requests are issued open-loop at their arrival times, in order;
+    scheduled :class:`FaultEvent` crashes/repairs are applied to
+    ``injector`` as simulated time passes them. Server-side queueing is
+    not modeled here (each request sees an unloaded replica) — the
+    point is the fault/recovery behavior, and
+    :class:`Batch1Server`/:class:`BatchingServer` cover queueing.
+
+    Fully deterministic: fixed seeds (injector + client) and a fixed
+    arrival sequence reproduce identical outcomes.
+    """
+    if events and injector is None:
+        raise LoadError("fault events scheduled but no injector given")
+    arrivals = sorted(arrivals)
+    pending = sorted(events, key=lambda e: e.time_s)
+    idx = 0
+    outcomes: List[InvocationOutcome] = []
+    for arrival in arrivals:
+        while idx < len(pending) and pending[idx].time_s <= arrival:
+            event = pending[idx]
+            if event.action == "crash":
+                injector.crash(event.node)
+            else:
+                injector.repair(event.node)
+            idx += 1
+        outcomes.append(client.invoke(service, steps, now=arrival))
+    counts = dict(injector.counts) if injector is not None else {}
+    return FaultScenarioResult(outcomes=outcomes,
+                               arrivals=list(arrivals),
+                               fault_counts=counts)
 
 
 def compare_under_load(bw_service_s: float,

@@ -2,21 +2,30 @@
 
 Section II-A: accelerators are "logically disaggregated and pooled into
 instances of hardware microservices with no software in the loop",
-registered with a resource manager and addressed directly by IP.
+registered with a resource manager and addressed directly by IP. The
+resource manager here is replica-aware: a service name maps to one or
+more :class:`FpgaNode` replicas, each with a consecutive-failure
+circuit breaker (open -> timed half-open probe -> closed) so callers
+can fail over around crashed or misbehaving nodes.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import difflib
 import itertools
-from typing import Dict, List, Optional, Tuple
+import math
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
 from ..compiler.lowering import CompiledModel
-from ..errors import ReproError
+from ..errors import FaultError, ReproError
 from ..timing.scheduler import TimingSimulator
 from .network import Locality, NetworkModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .faults import FaultInjector
 
 
 class ServiceError(ReproError):
@@ -35,17 +44,25 @@ class FpgaNode:
     locality: Locality = Locality.SAME_RACK
 
     def __post_init__(self) -> None:
-        self.ip_address = f"10.0.{next(_ip_counter) // 256}." \
-                          f"{next(_ip_counter) % 256}"
+        n = next(_ip_counter)
+        self.ip_address = f"10.0.{n // 256}.{n % 256}"
         self._timing = TimingSimulator(self.compiled.config)
+        self._latency_cache: Dict[int, float] = {}
 
     def compute_latency_s(self, steps: int) -> float:
-        """NPU compute latency for a ``steps``-step invocation."""
-        report = self._timing.run(
-            self.compiled.program,
-            bindings={self.compiled.steps_binding: steps},
-            nominal_ops=self.compiled.ops_per_step * steps)
-        return report.latency_s
+        """NPU compute latency for a ``steps``-step invocation.
+
+        The timing simulator is deterministic for a given program and
+        step count, so results are memoized — serving simulations
+        invoke the same shape thousands of times.
+        """
+        if steps not in self._latency_cache:
+            report = self._timing.run(
+                self.compiled.program,
+                bindings={self.compiled.steps_binding: steps},
+                nominal_ops=self.compiled.ops_per_step * steps)
+            self._latency_cache[steps] = report.latency_s
+        return self._latency_cache[steps]
 
     def run_functional(self, xs: List[np.ndarray],
                        exact: bool = True) -> List[np.ndarray]:
@@ -72,13 +89,22 @@ class InvocationResult:
 
 
 class HardwareMicroservice:
-    """A published model-serving endpoint backed by one FPGA node."""
+    """A published model-serving endpoint backed by one FPGA node.
+
+    ``injector`` is an optional :class:`~repro.system.faults.FaultInjector`
+    hook: when set, every invocation draws from the fault model and may
+    raise :class:`~repro.errors.FaultError` or have its latency
+    perturbed (tail spikes, packet retransmits). Without it, behavior
+    is exactly the fault-free model.
+    """
 
     def __init__(self, name: str, node: FpgaNode,
-                 network: Optional[NetworkModel] = None):
+                 network: Optional[NetworkModel] = None,
+                 injector: Optional["FaultInjector"] = None):
         self.name = name
         self.node = node
         self.network = network if network is not None else NetworkModel()
+        self.injector = injector
 
     def invoke(self, steps: int, functional_inputs:
                Optional[List[np.ndarray]] = None) -> InvocationResult:
@@ -87,8 +113,20 @@ class HardwareMicroservice:
         Network time covers the input vector stream in and the output
         stream back; compute time comes from the timing simulator. Pass
         ``functional_inputs`` to additionally produce real outputs via
-        the functional simulator.
+        the functional simulator. Raises
+        :class:`~repro.errors.FaultError` when the fault injector
+        fails the invocation (node down, crash, or transient failure).
         """
+        compute_multiplier = 1.0
+        extra_network_s = 0.0
+        if self.injector is not None:
+            sample = self.injector.sample(self.node.name)
+            if sample.fail_kind is not None:
+                raise FaultError(
+                    f"{self.name}@{self.node.name}: injected "
+                    f"{sample.fail_kind} fault", kind=sample.fail_kind)
+            compute_multiplier = sample.compute_multiplier
+            extra_network_s = sample.extra_network_s
         compiled = self.node.compiled
         bytes_per_vec = compiled.config.native_dim * 2  # float16 wire fmt
         in_bytes = steps * compiled.input_vectors_per_step * bytes_per_vec
@@ -103,11 +141,13 @@ class HardwareMicroservice:
         last_out = out_bytes / max(steps, 1)
         net_in = self.network.transfer_us(first_in,
                                           self.node.locality) * 1e-6
+        net_in += extra_network_s
         net_out = self.network.transfer_us(last_out,
                                            self.node.locality) * 1e-6
         compute = max(self.node.compute_latency_s(steps),
                       self.network.serialization_us(in_bytes) * 1e-6,
                       self.network.serialization_us(out_bytes) * 1e-6)
+        compute *= compute_multiplier
         outputs = None
         if functional_inputs is not None:
             if len(functional_inputs) != steps:
@@ -119,26 +159,146 @@ class HardwareMicroservice:
                                 network_out_s=net_out, outputs=outputs)
 
 
-class MicroserviceRegistry:
-    """The distributed resource manager: name -> published service."""
+@dataclasses.dataclass
+class _ReplicaState:
+    """One replica's circuit-breaker bookkeeping."""
 
-    def __init__(self):
-        self._services: Dict[str, HardwareMicroservice] = {}
+    service: HardwareMicroservice
+    consecutive_failures: int = 0
+    #: Breaker is open (replica excluded) until this simulated time;
+    #: past it, the replica is admitted as a half-open probe.
+    open_until: float = -math.inf
+
+    def state(self, now: float) -> str:
+        if self.open_until == -math.inf:
+            return "closed"
+        if now < self.open_until:
+            return "open"
+        return "half_open"
+
+
+class MicroserviceRegistry:
+    """The distributed resource manager: name -> service replicas.
+
+    Each published name holds an ordered list of replicas. Health is
+    tracked per replica with a consecutive-failure circuit breaker:
+    after ``failure_threshold`` consecutive failures the breaker opens
+    for ``recovery_timeout_s`` of simulated time, after which the
+    replica is re-admitted as a half-open probe — one success closes
+    the breaker, one failure re-opens it.
+    """
+
+    def __init__(self, failure_threshold: int = 3,
+                 recovery_timeout_s: float = 25e-3):
+        if failure_threshold < 1:
+            raise ServiceError("failure_threshold must be >= 1")
+        if recovery_timeout_s < 0:
+            raise ServiceError("recovery_timeout_s must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout_s = recovery_timeout_s
+        self._services: Dict[str, List[_ReplicaState]] = {}
+
+    # -- registration -----------------------------------------------------
 
     def publish(self, service: HardwareMicroservice) -> str:
-        """Register a service; returns the endpoint address."""
+        """Register a new service name; returns the endpoint address."""
         if service.name in self._services:
-            raise ServiceError(f"service {service.name!r} already "
-                               "published")
-        self._services[service.name] = service
+            raise ServiceError(
+                f"service {service.name!r} already published; use "
+                "publish_replica() to add replicas")
+        self._services[service.name] = [_ReplicaState(service)]
         return service.node.ip_address
 
-    def lookup(self, name: str) -> HardwareMicroservice:
-        if name not in self._services:
+    def publish_replica(self, service: HardwareMicroservice) -> str:
+        """Add a replica under ``service.name`` (creating the name if
+        needed); returns the replica's endpoint address."""
+        replicas = self._services.setdefault(service.name, [])
+        if any(r.service.node.name == service.node.name
+               for r in replicas):
             raise ServiceError(
-                f"no service {name!r}; published: "
-                f"{sorted(self._services)}")
-        return self._services[name]
+                f"node {service.node.name!r} already serves "
+                f"{service.name!r}")
+        replicas.append(_ReplicaState(service))
+        return service.node.ip_address
+
+    def unpublish(self, name: str) -> None:
+        """Withdraw a service name and all its replicas."""
+        if name not in self._services:
+            raise ServiceError(f"cannot unpublish {name!r}: not published")
+        del self._services[name]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._services
 
     def __len__(self) -> int:
         return len(self._services)
+
+    # -- lookup -----------------------------------------------------------
+
+    def lookup(self, name: str) -> HardwareMicroservice:
+        """The primary (first) replica of ``name``."""
+        if name not in self._services:
+            if not self._services:
+                raise ServiceError(
+                    f"no service {name!r}; registry is empty")
+            close = difflib.get_close_matches(
+                name, self._services, n=1)
+            hint = f" (did you mean {close[0]!r}?)" if close else ""
+            raise ServiceError(
+                f"no service {name!r}{hint}; published: "
+                f"{sorted(self._services)}")
+        return self._services[name][0].service
+
+    def replicas(self, name: str) -> List[HardwareMicroservice]:
+        """All replicas of ``name``, in publication order."""
+        self.lookup(name)
+        return [r.service for r in self._services[name]]
+
+    def healthy(self, name: str,
+                now: float = 0.0) -> List[HardwareMicroservice]:
+        """Replicas admissible at time ``now``: half-open probes first
+        (standard breaker semantics — one trial request goes through),
+        then closed replicas; open breakers are excluded."""
+        self.lookup(name)
+        probes, closed = [], []
+        for r in self._services[name]:
+            state = r.state(now)
+            if state == "half_open":
+                probes.append(r.service)
+            elif state == "closed":
+                closed.append(r.service)
+        return probes + closed
+
+    # -- health reporting -------------------------------------------------
+
+    def _replica_state(self, name: str,
+                       service: HardwareMicroservice) -> _ReplicaState:
+        for r in self._services.get(name, []):
+            if r.service is service or \
+                    r.service.node.name == service.node.name:
+                return r
+        raise ServiceError(
+            f"{service.node.name!r} is not a replica of {name!r}")
+
+    def record_success(self, name: str, service: HardwareMicroservice,
+                       now: float = 0.0) -> None:
+        """A replica served a request: close its breaker."""
+        r = self._replica_state(name, service)
+        r.consecutive_failures = 0
+        r.open_until = -math.inf
+
+    def record_failure(self, name: str, service: HardwareMicroservice,
+                       now: float = 0.0) -> None:
+        """A replica failed a request: count it, and open the breaker
+        at the threshold (a failed half-open probe re-opens it)."""
+        r = self._replica_state(name, service)
+        r.consecutive_failures += 1
+        was_half_open = r.state(now) == "half_open"
+        if was_half_open or \
+                r.consecutive_failures >= self.failure_threshold:
+            r.open_until = now + self.recovery_timeout_s
+
+    def breaker_state(self, name: str, service: HardwareMicroservice,
+                      now: float = 0.0) -> str:
+        """``"closed"``, ``"open"``, or ``"half_open"`` for a replica."""
+        return self._replica_state(name, service).state(now)

@@ -11,13 +11,18 @@ FPGAs invoked concurrently, outputs concatenated on the CPU.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, TYPE_CHECKING, \
+    Union
 
 import numpy as np
 
-from ..errors import ReproError
+from ..errors import AllReplicasDownError, DeadlineExceededError, \
+    FaultError, ReproError
 from .microservice import HardwareMicroservice, InvocationResult, \
     MicroserviceRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .faults import ResilientClient
 
 
 class RuntimeError_(ReproError):
@@ -36,12 +41,29 @@ class CpuStage:
 
 @dataclasses.dataclass(frozen=True)
 class FpgaStage:
-    """An accelerated sub-graph served by a hardware microservice."""
+    """An accelerated sub-graph served by a hardware microservice.
+
+    ``deadline_s``, ``fallback``, and ``fallback_latency_s`` only take
+    effect when the runtime executes through a
+    :class:`~repro.system.faults.ResilientClient`: the stage then gets
+    its own SLO deadline, and if every replica of the service is down
+    (or retries are exhausted) the ``fallback`` CPU callable — the
+    paper's federated CPU+FPGA escape hatch — completes the stage at
+    an honestly-accounted CPU latency instead of failing the plan.
+    """
 
     name: str
     service: str
     #: Steps per invocation; ``None`` = length of the input sequence.
     steps: Optional[int] = None
+    #: Per-stage SLO deadline override (``None`` = the client policy's).
+    deadline_s: Optional[float] = None
+    #: CPU fallback over the stage's input sequence, used when the
+    #: resilient invocation fails.
+    fallback: Optional[Callable] = None
+    #: Modeled CPU latency of the fallback (seconds) — deliberately far
+    #: slower than the FPGA path it stands in for.
+    fallback_latency_s: float = 5e-3
 
 
 Stage = Union[CpuStage, FpgaStage]
@@ -61,10 +83,52 @@ class PlanResult:
 
 
 class FederatedRuntime:
-    """Executes CPU/FPGA stage plans against a service registry."""
+    """Executes CPU/FPGA stage plans against a service registry.
 
-    def __init__(self, registry: MicroserviceRegistry):
+    With a :class:`~repro.system.faults.ResilientClient` attached, FPGA
+    stages are invoked through it — retries, replica failover, hedging
+    — under a per-stage deadline, and a stage whose service is
+    unreachable completes through its declared CPU ``fallback`` (or
+    raises :class:`~repro.errors.AllReplicasDownError` /
+    :class:`~repro.errors.DeadlineExceededError` /
+    :class:`~repro.errors.FaultError` if it has none).
+    """
+
+    def __init__(self, registry: MicroserviceRegistry,
+                 client: Optional["ResilientClient"] = None):
         self.registry = registry
+        self.client = client
+
+    def _invoke_resilient(self, stage: FpgaStage, seq: List, steps: int,
+                          now: float, functional: bool):
+        """One FPGA stage through the resilient client; returns
+        ``(latency_s, result_or_None, used_fallback)``."""
+        client = self.client
+        policy = client.policy
+        if stage.deadline_s is not None:
+            policy = dataclasses.replace(policy,
+                                         deadline_s=stage.deadline_s)
+        saved = client.policy
+        client.policy = policy
+        try:
+            outcome = client.invoke(
+                stage.service, steps, now=now,
+                functional_inputs=seq if functional else None)
+        finally:
+            client.policy = saved
+        if outcome.ok:
+            return outcome.latency_s, outcome.result, False
+        if stage.fallback is not None:
+            # Federated escape hatch: the CPU finishes the stage, paying
+            # the time already burned on the FPGA path plus CPU compute.
+            return (outcome.latency_s + stage.fallback_latency_s,
+                    None, True)
+        if outcome.error_kind == "all_replicas_down":
+            raise AllReplicasDownError(outcome.error)
+        if outcome.error_kind == "deadline_exceeded":
+            raise DeadlineExceededError(outcome.error)
+        raise FaultError(outcome.error or
+                         f"stage {stage.name!r} failed", kind="transient")
 
     def execute(self, stages: Sequence[Stage],
                 inputs: List[np.ndarray],
@@ -83,15 +147,27 @@ class FederatedRuntime:
                 value = stage.fn(value)
                 latencies.append(stage.latency_s)
             elif isinstance(stage, FpgaStage):
-                service = self.registry.lookup(stage.service)
                 seq = value if isinstance(value, list) else [value]
                 steps = stage.steps if stage.steps is not None else len(seq)
-                result = service.invoke(
-                    steps,
-                    functional_inputs=seq if functional else None)
-                if functional:
-                    value = result.outputs
-                latencies.append(result.total_s)
+                if self.client is not None:
+                    latency, result, used_fallback = \
+                        self._invoke_resilient(stage, seq, steps,
+                                               now=sum(latencies),
+                                               functional=functional)
+                    if used_fallback:
+                        value = stage.fallback(seq)
+                    elif functional:
+                        value = result.outputs
+                    latencies.append(latency)
+                else:
+                    service: HardwareMicroservice = \
+                        self.registry.lookup(stage.service)
+                    result: InvocationResult = service.invoke(
+                        steps,
+                        functional_inputs=seq if functional else None)
+                    if functional:
+                        value = result.outputs
+                    latencies.append(result.total_s)
             else:  # pragma: no cover - defensive
                 raise RuntimeError_(f"unknown stage {stage!r}")
         return PlanResult(value=value, total_latency_s=sum(latencies),

@@ -126,7 +126,6 @@ class LatencyModel:
                       rows: int, cols: int) -> ChainLatency:
         """Latency decomposition for one vector chain execution."""
         c = self.constants
-        per_row = self.config.cycles_per_native_row
         depth = c.arb_depth
         if chain.has_mv_mul:
             issue = self.mvm_issue_cycles(rows, cols)

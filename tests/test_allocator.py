@@ -3,7 +3,6 @@
 import pytest
 
 from repro.compiler.allocator import RegisterAllocator
-from repro.config import NpuConfig
 from repro.errors import CapacityError
 from repro.isa import MemId
 

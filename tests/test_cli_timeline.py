@@ -33,6 +33,12 @@ class TestCli:
         assert main(["experiment", "nope"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
+    def test_serve_faults(self, capsys):
+        assert main(["serve-faults", "--requests", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Serving under faults" in out
+        assert "avail %" in out
+
     def test_specialize(self, capsys):
         assert main(["specialize", "gru", "512", "Arria 10 1150"]) == 0
         out = capsys.readouterr().out

@@ -1,27 +1,12 @@
 """Tests for the UDM/SDM critical-path methodology (Section III)."""
 
-import math
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.criticalpath import (
-    Dfg,
-    analytic,
-    conv_layer_dfg,
-    dot_depth,
-    gru_step_dfg,
-    lstm_step_dfg,
-    mlp_dfg,
-    recurrent_cycle_depth,
-    sdm_analyze_recurrent,
-    sdm_cycles_bound,
-    sdm_cycles_scheduled,
-    udm_analyze,
-    udm_analyze_recurrent,
-    udm_cycles,
-)
+from repro.criticalpath import Dfg, analytic, conv_layer_dfg, dot_depth, gru_step_dfg, lstm_step_dfg, mlp_dfg, recurrent_cycle_depth, sdm_analyze_recurrent, sdm_cycles_bound, sdm_cycles_scheduled, udm_analyze_recurrent, \
+    udm_cycles
 from repro.models.cnn import TABLE1_CNN_1X1, TABLE1_CNN_3X3
 
 

@@ -8,7 +8,6 @@ from repro.compiler.frontend import lstm_to_gir
 from repro.compiler.passes import annotate_padding, pin_constants, \
     validate_for_npu
 from repro.config import NpuConfig
-from repro.functional import FunctionalSimulator
 from repro.isa import (
     decode_stream,
     encode_stream,

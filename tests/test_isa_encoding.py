@@ -24,7 +24,6 @@ from repro.isa import (
     vv_add,
 )
 from repro.isa.encoding import MAX_OPERAND
-from repro.isa.opcodes import OperandKind, info
 
 
 class TestEncodeDecode:

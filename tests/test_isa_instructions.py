@@ -3,31 +3,8 @@
 import pytest
 
 from repro.errors import IsaError
-from repro.isa import (
-    ChainType,
-    FuCategory,
-    Instruction,
-    MemId,
-    Opcode,
-    OperandKind,
-    ScalarReg,
-    end_chain,
-    info,
-    m_rd,
-    m_wr,
-    mv_mul,
-    s_wr,
-    v_rd,
-    v_relu,
-    v_sigm,
-    v_tanh,
-    v_wr,
-    vv_a_sub_b,
-    vv_add,
-    vv_b_sub_a,
-    vv_max,
-    vv_mul,
-)
+from repro.isa import ChainType, FuCategory, Instruction, MemId, Opcode, ScalarReg, end_chain, info, m_rd, m_wr, mv_mul, s_wr, v_rd, v_relu, v_sigm, v_tanh, v_wr, vv_a_sub_b, vv_add, vv_b_sub_a, vv_max, \
+    vv_mul
 
 
 class TestOpcodeMetadata:

@@ -3,16 +3,8 @@
 import pytest
 
 from repro.errors import ChainError, IsaError
-from repro.isa import (
-    InstructionChain,
-    Loop,
-    MemId,
-    NpuProgram,
-    Opcode,
-    ProgramBuilder,
-    ScalarReg,
-    SetScalar,
-)
+from repro.isa import InstructionChain, Loop, MemId, Opcode, ProgramBuilder, ScalarReg, \
+    SetScalar
 
 
 def simple_chain_program(steps=3):

@@ -1,6 +1,5 @@
 """Tests for the request-level serving simulation."""
 
-import numpy as np
 import pytest
 
 from repro.system.loadgen import (

@@ -13,7 +13,7 @@ from repro.compiler import (
 from repro.compiler.lowering import compile_rnn_shape
 from repro.config import NpuConfig
 from repro.errors import CapacityError, CompileError
-from repro.isa import MemId, Opcode
+from repro.isa import Opcode
 from repro.models import (
     ConvSpec,
     GruReference,
@@ -74,7 +74,7 @@ class TestLstmLowering:
         compiled = compile_lstm(model, small_config)
         xs = seq(rng, 6, 16)
         sim = compiled.new_simulator(exact=True)
-        first = compiled.run_sequence(xs[:3], exact=True, sim=sim)
+        compiled.run_sequence(xs[:3], exact=True, sim=sim)
         second = compiled.run_sequence(xs[3:], exact=True, sim=sim)
         want = model.run(xs)
         assert np.allclose(second[-1], want[-1], atol=1e-5)

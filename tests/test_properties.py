@@ -1,13 +1,12 @@
 """Property-based tests on core invariants (hypothesis)."""
 
 import numpy as np
-import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.compiler.lowering import compile_rnn_shape
 from repro.config import NpuConfig
-from repro.errors import ChainError, ReproError
+from repro.errors import ChainError
 from repro.functional import FunctionalSimulator
 from repro.isa import (
     InstructionChain,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import BW_A10, BW_S5, BW_S10, NpuConfig
+from repro.config import BW_A10, BW_S5, BW_S10
 from repro.errors import SynthesisError
 from repro.synthesis import (
     ARRIA_10_1150,

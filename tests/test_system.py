@@ -127,6 +127,34 @@ class TestFederatedRuntime:
         assert result.total_latency_s == pytest.approx(
             sum(result.stage_latencies))
 
+    def test_functional_value_threads_mixed_stages(self, small_config,
+                                                   rng):
+        """functional=True threads real values through CPU and FPGA
+        stages alternately: CPU -> FPGA -> CPU -> FPGA."""
+        model_a = LstmReference(16, 16, seed=5)
+        model_b = LstmReference(16, 16, seed=6)
+        reg = MicroserviceRegistry()
+        reg.publish(make_service(compile_lstm(model_a, small_config),
+                                 "lstm-a"))
+        reg.publish(make_service(compile_lstm(model_b, small_config),
+                                 "lstm-b"))
+        runtime = FederatedRuntime(reg)
+        xs = [rng.uniform(-1, 1, 16).astype(np.float32)
+              for _ in range(3)]
+        plan = [
+            CpuStage("scale", lambda seq: [0.5 * x for x in seq]),
+            FpgaStage("rnn-a", "lstm-a"),
+            CpuStage("negate", lambda seq: [-x for x in seq]),
+            FpgaStage("rnn-b", "lstm-b"),
+        ]
+        result = runtime.execute(plan, xs, functional=True)
+        mid = model_a.run([0.5 * x for x in xs])
+        want = model_b.run([-h for h in mid])
+        assert np.allclose(result.value[-1], want[-1], atol=1e-4)
+        assert len(result.stage_latencies) == 4
+        assert result.total_latency_s == pytest.approx(
+            sum(result.stage_latencies))
+
     def test_latency_only_mode(self, compiled, rng):
         reg = MicroserviceRegistry()
         reg.publish(make_service(compiled, "lstm"))
@@ -158,6 +186,34 @@ class TestBidirectionalRnn:
         bwd_want = bwd_model.run(list(reversed(xs)))
         for t in range(4):
             want = np.concatenate([fwd_want[t], bwd_want[3 - t]])
+            assert np.allclose(result.value[t], want, atol=1e-5)
+
+    def test_asymmetric_half_latencies(self, small_config, rng):
+        """Functional concat ordering survives asymmetric per-half
+        latencies (backward half across the datacenter fabric)."""
+        fwd_model = LstmReference(16, 16, seed=3)
+        bwd_model = LstmReference(16, 16, seed=4)
+        reg = MicroserviceRegistry()
+        reg.publish(HardwareMicroservice(
+            "fwd", FpgaNode("fwd-node",
+                            compile_lstm(fwd_model, small_config),
+                            locality=Locality.SAME_RACK)))
+        reg.publish(HardwareMicroservice(
+            "bwd", FpgaNode("bwd-node",
+                            compile_lstm(bwd_model, small_config),
+                            locality=Locality.SAME_DATACENTER)))
+        service = BidirectionalRnnService(reg, "fwd", "bwd")
+        xs = [rng.uniform(-1, 1, 16).astype(np.float32)
+              for _ in range(5)]
+        result = service.invoke(xs, functional=True)
+        fwd_lat, bwd_lat, concat = result.stage_latencies
+        assert bwd_lat > fwd_lat  # datacenter hops cost more
+        assert result.total_latency_s == pytest.approx(
+            max(fwd_lat, bwd_lat) + concat)
+        fwd_want = fwd_model.run(xs)
+        bwd_want = bwd_model.run(list(reversed(xs)))
+        for t in range(5):
+            want = np.concatenate([fwd_want[t], bwd_want[4 - t]])
             assert np.allclose(result.value[t], want, atol=1e-5)
 
     def test_latency_is_max_of_halves(self, compiled):

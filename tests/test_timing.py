@@ -5,7 +5,7 @@ import pytest
 
 from repro.baselines.deepbench import SUITE, published_row
 from repro.compiler.lowering import compile_rnn_shape
-from repro.config import BW_S10, NpuConfig
+from repro.config import BW_S10
 from repro.errors import ExecutionError
 from repro.isa import InstructionChain, MemId, ProgramBuilder, \
     mv_mul, v_rd, v_relu, v_sigm, v_tanh, v_wr, vv_add, vv_mul
