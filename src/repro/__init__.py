@@ -20,6 +20,8 @@ package provides:
   suite;
 * :mod:`repro.system` — the datacenter serving layer (hardware
   microservices, federated runtime);
+* :mod:`repro.obs` — simulated-time tracing and metrics (spans,
+  counters, histograms, Chrome-trace export) across all layers;
 * :mod:`repro.harness` — drivers regenerating every table and figure of
   the paper's evaluation.
 

@@ -11,6 +11,8 @@ Commands:
 * ``disassemble <kind> <hidden>`` — print the generated NPU program;
 * ``serve-faults`` — availability/goodput/latency of replicated
   microservice serving under injected faults;
+* ``trace <workload>`` — run a workload with :mod:`repro.obs` tracing
+  and write a Chrome/Perfetto ``trace.json`` plus a metrics summary;
 * ``specialize <kind> <hidden> <device>`` — best synthesis-specialized
   instance for a model on a device.
 """
@@ -102,6 +104,104 @@ def _cmd_serve_faults(args) -> int:
     return 0
 
 
+def _finish_trace(args, tracer, metrics) -> None:
+    from .obs import summarize, to_jsonl, write_chrome_trace
+    count = write_chrome_trace(args.out, tracer)
+    print(f"\nwrote {count} trace events to {args.out} "
+          f"(load in chrome://tracing or https://ui.perfetto.dev)")
+    if args.jsonl:
+        with open(args.jsonl, "w") as fh:
+            fh.write(to_jsonl(tracer) + "\n")
+        print(f"wrote event dump to {args.jsonl}")
+    print()
+    print(summarize(tracer, metrics))
+
+
+def _trace_rnn(args) -> int:
+    from .compiler.lowering import compile_rnn_shape
+    from .obs import Metrics, Tracer
+    from .timing import (TimingSimulator, build_hdd_tree, occupancy,
+                         occupancy_from_trace)
+    config = _resolve_config(args.config)
+    hidden = args.hidden if args.hidden is not None else 512
+    steps = args.steps if args.steps is not None else 10
+    compiled = compile_rnn_shape(args.workload, hidden, config)
+    tracer = Tracer(unit="cycles")
+    metrics = Metrics()
+    sim = TimingSimulator(config, record_chains=True, tracer=tracer,
+                          metrics=metrics)
+    report = sim.run(compiled.program, bindings={"steps": steps},
+                     nominal_ops=steps * compiled.ops_per_step)
+    build_hdd_tree(config).annotate(metrics)
+    occ_report = occupancy(report)
+    occ_trace = occupancy_from_trace(tracer)
+    print(f"{args.workload.upper()} h={hidden} t={steps} on "
+          f"{config.name}: {report.latency_ms:.4f} ms")
+    print(f"  occupancy (report): {occ_report.render()}")
+    print(f"  occupancy (trace):  {occ_trace.render()}")
+    match = occ_report.mvm_occupancy == occ_trace.mvm_occupancy
+    print(f"  trace/report MVM occupancy match: "
+          f"{'yes' if match else 'NO'}")
+    _finish_trace(args, tracer, metrics)
+    return 0 if match else 1
+
+
+def _trace_serving(args) -> int:
+    from .compiler.lowering import compile_rnn_shape
+    from .obs import Metrics, Tracer
+    from .system import (FaultEvent, FaultInjector, FaultProfile,
+                         FpgaNode, HardwareMicroservice,
+                         MicroserviceRegistry, ResilientClient,
+                         RetryPolicy, poisson_arrivals,
+                         run_fault_scenario)
+    config = _resolve_config(args.config)
+    hidden = args.hidden if args.hidden is not None else 512
+    steps = args.steps if args.steps is not None else 50
+    compiled = compile_rnn_shape("lstm", hidden, config)
+    tracer = Tracer(unit="s")
+    metrics = Metrics()
+    profile = FaultProfile(
+        transient_failure_prob=args.transient, tail_spike_prob=0.01,
+        tail_spike_multiplier=8.0, packet_loss_prob=0.01)
+    injector = FaultInjector(profile, seed=args.seed + 1)
+    registry = MicroserviceRegistry(failure_threshold=3,
+                                    recovery_timeout_s=25e-3,
+                                    tracer=tracer, metrics=metrics)
+    for i in range(args.replicas):
+        registry.publish_replica(HardwareMicroservice(
+            "lstm", FpgaNode(f"lstm-{i}", compiled),
+            injector=injector))
+    policy = RetryPolicy(max_attempts=4, deadline_s=20e-3,
+                         hedge_after_s=2.5e-3)
+    client = ResilientClient(registry, policy, seed=args.seed + 2,
+                             tracer=tracer, metrics=metrics)
+    arrivals = poisson_arrivals(args.rate, args.requests,
+                                seed=args.seed)
+    duration = args.requests / args.rate
+    # One replica crashes a quarter into the run and is repaired at
+    # the midpoint, exercising breaker open/half-open/close events.
+    events = [FaultEvent(0.25 * duration, "crash", "lstm-0"),
+              FaultEvent(0.50 * duration, "repair", "lstm-0")]
+    result = run_fault_scenario(client, "lstm", arrivals, steps=steps,
+                                injector=injector, events=events,
+                                tracer=tracer, metrics=metrics)
+    print(f"serve-faults: LSTM h={hidden} t={steps}, "
+          f"{args.requests} requests at {args.rate:.0f}/s, "
+          f"{args.replicas} replicas")
+    print(f"  availability: {100 * result.availability:.3f}%  "
+          f"p50 {result.p50_ms:.2f} ms  p99 {result.p99_ms:.2f} ms  "
+          f"mean attempts {result.mean_attempts:.2f}  "
+          f"hedges {result.hedged}")
+    _finish_trace(args, tracer, metrics)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    if args.workload == "serve-faults":
+        return _trace_serving(args)
+    return _trace_rnn(args)
+
+
 def _cmd_specialize(args) -> int:
     from .synthesis import best_config, device_by_name, rnn_requirements
     try:
@@ -163,6 +263,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replicas", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_serve_faults)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a workload traced end-to-end and write a "
+             "Chrome/Perfetto trace.json + metrics summary")
+    p.add_argument("workload", choices=["lstm", "gru", "serve-faults"])
+    p.add_argument("--out", default="trace.json",
+                   help="Chrome trace-event JSON output path")
+    p.add_argument("--jsonl", default=None,
+                   help="optional JSONL raw event dump path")
+    p.add_argument("--config", default="BW_S10",
+                   choices=sorted(STANDARD_CONFIGS))
+    p.add_argument("--hidden", type=int, default=None,
+                   help="hidden dim (default 512)")
+    p.add_argument("--steps", type=int, default=None,
+                   help="timesteps (default: 10 rnn, 50 serving)")
+    p.add_argument("--requests", type=int, default=400)
+    p.add_argument("--rate", type=float, default=400.0,
+                   help="Poisson arrival rate (req/s, serve-faults)")
+    p.add_argument("--transient", type=float, default=0.02,
+                   help="transient failure probability (serve-faults)")
+    p.add_argument("--replicas", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("specialize",
                        help="pick the best instance for a model")

@@ -67,9 +67,15 @@ class CompiledModel:
     is_recurrent: bool = True
     ops_per_step: int = 0
 
-    def new_simulator(self, exact: bool = False) -> FunctionalSimulator:
-        """Create a simulator with this model's weights pinned on chip."""
-        sim = FunctionalSimulator(self.config, exact=exact)
+    def new_simulator(self, exact: bool = False, tracer=None,
+                      metrics=None) -> FunctionalSimulator:
+        """Create a simulator with this model's weights pinned on chip.
+
+        ``tracer``/``metrics`` are optional :mod:`repro.obs` hooks
+        passed through to the :class:`FunctionalSimulator`.
+        """
+        sim = FunctionalSimulator(self.config, exact=exact,
+                                  tracer=tracer, metrics=metrics)
         self.loader(sim)
         return sim
 

@@ -33,6 +33,7 @@ from ..memory.dram import Dram
 from ..memory.netq import NetworkQueues
 from ..memory.regfile import MatrixRegisterFile, VectorRegisterFile
 from ..numerics.bfp import BfpFormat, quantize, to_float16
+from ..obs import Metrics, Tracer, or_null, or_null_metrics
 from . import ops
 
 
@@ -56,14 +57,26 @@ class ExecutionStats:
 class FunctionalSimulator:
     """Architecturally accurate executor for NPU programs."""
 
-    def __init__(self, config: NpuConfig, exact: bool = False):
+    def __init__(self, config: NpuConfig, exact: bool = False,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[Metrics] = None):
         """
         Args:
             config: The NPU instance to simulate.
             exact: Disable BFP/float16 quantization (float32 throughout);
                 used for structural verification against references.
+            tracer: Optional :class:`~repro.obs.Tracer` receiving
+                per-chain and per-instruction spans. The functional
+                simulator has no cycle clock, so the trace timebase is
+                retired instruction count (one tick per instruction).
+            metrics: Optional :class:`~repro.obs.Metrics` registry
+                receiving per-opcode counters, MAC, and FLOP totals.
         """
         self.config = config
+        self.tracer = or_null(tracer)
+        self.metrics = or_null_metrics(metrics)
+        #: Trace timebase: instructions retired so far.
+        self._trace_clock = 0
         self.exact = exact or config.mantissa_bits == 0
         n = config.native_dim
         self.vrfs: Dict[MemId, VectorRegisterFile] = {
@@ -172,12 +185,25 @@ class FunctionalSimulator:
     def run(self, program: NpuProgram,
             bindings: Optional[Dict[str, int]] = None) -> ExecutionStats:
         """Execute ``program`` to completion; returns dynamic stats."""
+        span = self.tracer.begin("run", float(self._trace_clock),
+                                 track="executor")
         for event in program.events(bindings):
             if isinstance(event, SetScalar):
                 self._set_scalar(event)
             else:
                 self.execute_chain(event)
+        self.tracer.end(span, float(self._trace_clock),
+                        instructions=self.stats.instructions_executed,
+                        chains=self.stats.chains_executed)
         return self.stats
+
+    def _tick(self, name: str, **attrs) -> None:
+        """Retire one instruction: advance the trace clock one tick and
+        record the instruction span and opcode counter."""
+        t = float(self._trace_clock)
+        self._trace_clock += 1
+        self.tracer.span(name, t, t + 1.0, **attrs)
+        self.metrics.counter(f"executor.ops.{name}").inc()
 
     def _set_scalar(self, event: SetScalar) -> None:
         if event.reg in (ScalarReg.Rows, ScalarReg.Columns) \
@@ -185,15 +211,22 @@ class FunctionalSimulator:
             raise ExecutionError(f"{event.reg.name} must be >= 1")
         self.scalar_regs[event.reg] = event.value
         self.stats.instructions_executed += 1
+        self._tick("set_scalar", reg=event.reg.name, value=event.value)
 
     def execute_chain(self, chain: InstructionChain) -> None:
         """Execute one instruction chain against architectural state."""
         self.stats.chains_executed += 1
         self.stats.instructions_executed += len(chain) + 1  # + end_chain
+        span = self.tracer.begin(
+            "chain", float(self._trace_clock), track="executor",
+            matrix=chain.is_matrix_chain, instructions=len(chain) + 1)
         if chain.is_matrix_chain:
             self._execute_matrix_chain(chain)
         else:
             self._execute_vector_chain(chain)
+        self._tick("end_chain")
+        self.tracer.end(span, float(self._trace_clock))
+        self.metrics.counter("executor.chains").inc()
 
     # -- matrix chains ------------------------------------------------------
 
@@ -206,6 +239,8 @@ class FunctionalSimulator:
             tiles = self.netq.pop_input_tiles(count)
         else:
             tiles = self.dram.read_tiles(rd.index, count)
+        self._tick(rd.opcode.name.lower(), mem=rd.mem_id.name,
+                   index=rd.index, tiles=count)
         if wr.mem_id is MemId.MatrixRf:
             if not self.exact:
                 # Weights quantize at MRF initialization, per native row.
@@ -213,6 +248,9 @@ class FunctionalSimulator:
             self.mrf.write_tiles(wr.index, tiles)
         else:
             self.dram.write_tiles(wr.index, tiles)
+        self._tick(wr.opcode.name.lower(), mem=wr.mem_id.name,
+                   index=wr.index, tiles=count)
+        self.metrics.counter("executor.tiles_moved").inc(count)
 
     # -- vector chains ------------------------------------------------------
 
@@ -224,6 +262,9 @@ class FunctionalSimulator:
 
         head = chain.source
         value = self._read_vectors(head, width_in)
+        self._tick(head.opcode.name.lower(),
+                   mem=head.mem_id.name if head.mem_id else None,
+                   index=head.index, vectors=width_in)
 
         for instr in chain.instructions[1:]:
             if instr.opcode is Opcode.MV_MUL:
@@ -233,14 +274,21 @@ class FunctionalSimulator:
                 kernel = ops.BINARY_KERNELS[instr.opcode]
                 value = kernel(value, operand, exact=self.exact)
                 self.stats.pointwise_flops += value.size
+                self.metrics.counter("executor.pointwise_flops") \
+                    .inc(value.size)
             elif instr.opcode in ops.UNARY_KERNELS:
                 kernel = ops.UNARY_KERNELS[instr.opcode]
                 value = kernel(value, exact=self.exact)
                 self.stats.pointwise_flops += value.size
+                self.metrics.counter("executor.pointwise_flops") \
+                    .inc(value.size)
             elif instr.opcode is Opcode.V_WR:
                 self._write_vectors(instr, value)
             else:  # pragma: no cover - chain validation prevents this
                 raise ExecutionError(f"unexpected opcode {instr.opcode}")
+            self._tick(instr.opcode.name.lower(),
+                       mem=instr.mem_id.name if instr.mem_id else None,
+                       index=instr.index)
 
     def _vrf(self, mem: MemId) -> VectorRegisterFile:
         if mem not in self.vrfs:
@@ -299,5 +347,6 @@ class FunctionalSimulator:
             out[r] = acc
         self.stats.mv_mul_count += 1
         self.stats.macs += rows * cols * n * n
+        self.metrics.counter("executor.macs").inc(rows * cols * n * n)
         result = out.astype(np.float32)
         return result if self.exact else to_float16(result)

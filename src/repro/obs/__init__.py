@@ -1,0 +1,50 @@
+"""Observability: simulated-time tracing, metrics, trace export.
+
+The paper evaluates the NPU through time-resolved internals — per-chain
+issue/drain windows, MVM occupancy (Fig. 7), tail latency under load —
+and this package is the uniform layer that surfaces them: a
+:class:`Tracer` of nested spans keyed to *simulated* time (cycles,
+instruction ticks, or seconds — never wall clock, so traces are
+deterministic under fixed seeds), a :class:`Metrics` registry of
+counters/gauges/latency histograms, and exporters to Chrome/Perfetto
+``trace_event`` JSON, JSONL, and text summaries.
+
+Every hook in the executor, timing model, and serving stack defaults to
+:data:`NULL_TRACER` / :data:`NULL_METRICS`, so uninstrumented runs pay
+only a no-op call and produce bit-identical results.
+"""
+
+from .trace import (
+    InstantEvent,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    or_null,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    Metrics,
+    NULL_METRICS,
+    NullMetrics,
+    or_null_metrics,
+    percentile,
+)
+from .export import (
+    chrome_trace_events,
+    summarize,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "InstantEvent", "NULL_TRACER", "NullTracer", "Span", "Tracer",
+    "or_null",
+    "Counter", "Gauge", "LatencyHistogram", "Metrics", "NULL_METRICS",
+    "NullMetrics", "or_null_metrics", "percentile",
+    "chrome_trace_events", "summarize", "to_chrome_trace", "to_jsonl",
+    "write_chrome_trace",
+]

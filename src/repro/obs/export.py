@@ -1,0 +1,152 @@
+"""Trace/metrics exporters: Chrome trace-event JSON, JSONL, text.
+
+``chrome://tracing`` and https://ui.perfetto.dev both load the Trace
+Event Format (a JSON object with a ``traceEvents`` array), so a
+scheduler run or a fault scenario becomes an interactive timeline with
+no extra tooling. Timestamps in that format are microseconds; cycle-
+and instruction-based tracers export 1 tick = 1 us (relative structure
+is what matters), while second-based tracers are scaled by 1e6.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .metrics import Metrics
+from .trace import Tracer
+
+#: Microseconds per tracer time unit, by unit label.
+_UNIT_SCALE = {"s": 1e6, "seconds": 1e6, "ms": 1e3, "us": 1.0}
+
+
+def _scale_for(tracer: Tracer) -> float:
+    return _UNIT_SCALE.get(tracer.unit, 1.0)
+
+
+def _json_safe(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)
+
+
+def _safe_attrs(attrs: Dict[str, object]) -> Dict[str, object]:
+    return {k: _json_safe(v) for k, v in attrs.items()}
+
+
+def chrome_trace_events(tracer: Tracer, pid: int = 0,
+                        time_scale: Optional[float] = None) -> List[dict]:
+    """Flatten a tracer into Trace Event Format event dicts.
+
+    Tracks become named threads of process ``pid``; spans become
+    complete ("X") events, instants become instant ("i") events.
+    """
+    scale = time_scale if time_scale is not None else _scale_for(tracer)
+    tids: Dict[str, int] = {}
+    events: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": f"repro [{tracer.unit}]"},
+    }]
+
+    def tid_of(track: str) -> int:
+        if track not in tids:
+            tids[track] = len(tids)
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid,
+                "tid": tids[track], "args": {"name": track}})
+        return tids[track]
+
+    for span in tracer.spans:
+        end = span.end if span.end is not None else span.start
+        events.append({
+            "name": span.name, "cat": "span", "ph": "X",
+            "ts": span.start * scale,
+            "dur": max(end - span.start, 0.0) * scale,
+            "pid": pid, "tid": tid_of(span.track),
+            "args": _safe_attrs(span.attrs)})
+    for event in tracer.events:
+        events.append({
+            "name": event.name, "cat": "instant", "ph": "i", "s": "t",
+            "ts": event.time * scale, "pid": pid,
+            "tid": tid_of(event.track), "args": _safe_attrs(event.attrs)})
+    return events
+
+
+def to_chrome_trace(*tracers: Tracer) -> dict:
+    """Combine tracers (one process each) into a loadable trace object."""
+    events: List[dict] = []
+    for pid, tracer in enumerate(tracers):
+        events.extend(chrome_trace_events(tracer, pid=pid))
+    dropped = sum(t.dropped for t in tracers)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "units": [t.unit for t in tracers],
+            "dropped_events": dropped,
+        },
+    }
+
+
+def write_chrome_trace(path: str, *tracers: Tracer) -> int:
+    """Write a Chrome/Perfetto-loadable ``trace.json``; returns the
+    number of trace events written."""
+    trace = to_chrome_trace(*tracers)
+    with open(path, "w") as fh:
+        json.dump(trace, fh)
+    return len(trace["traceEvents"])
+
+
+def to_jsonl(tracer: Tracer) -> str:
+    """One JSON object per span/instant, in recording order — the raw
+    event dump for ad-hoc analysis (``jq``, pandas)."""
+    lines = []
+    for span in tracer.spans:
+        lines.append(json.dumps({
+            "kind": "span", "id": span.id, "name": span.name,
+            "track": span.track, "parent": span.parent,
+            "start": span.start, "end": span.end,
+            "unit": tracer.unit, "attrs": _safe_attrs(span.attrs)}))
+    for event in tracer.events:
+        lines.append(json.dumps({
+            "kind": "instant", "name": event.name, "track": event.track,
+            "time": event.time, "unit": tracer.unit,
+            "attrs": _safe_attrs(event.attrs)}))
+    return "\n".join(lines)
+
+
+def summarize(tracer: Optional[Tracer] = None,
+              metrics: Optional[Metrics] = None) -> str:
+    """Human-readable roll-up: span totals by (track, name), instant
+    counts, then the metrics table."""
+    lines: List[str] = []
+    if tracer is not None and (tracer.spans or tracer.events):
+        totals: Dict[tuple, List[float]] = {}
+        for span in tracer.spans:
+            agg = totals.setdefault((span.track, span.name), [0, 0.0])
+            agg[0] += 1
+            agg[1] += span.duration
+        lines.append(f"spans ({tracer.unit}):")
+        width = max(len(f"{t}/{n}") for t, n in totals) if totals else 0
+        for (track, name), (count, total) in sorted(totals.items()):
+            label = f"{track}/{name}"
+            lines.append(f"  {label:<{width}}  n={count:<6d} "
+                         f"total={total:<12.4g} mean={total / count:.4g}")
+        if tracer.events:
+            counts: Dict[tuple, int] = {}
+            for event in tracer.events:
+                key = (event.track, event.name)
+                counts[key] = counts.get(key, 0) + 1
+            lines.append("instants:")
+            for (track, name), count in sorted(counts.items()):
+                lines.append(f"  {track}/{name}  n={count}")
+        if tracer.dropped:
+            lines.append(f"  ({tracer.dropped} events dropped: buffer "
+                         f"bound {tracer.max_events})")
+    if metrics is not None:
+        text = metrics.render()
+        if text != "(no metrics recorded)":
+            lines.append(text)
+    return "\n".join(lines) if lines else "(nothing recorded)"

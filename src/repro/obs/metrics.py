@@ -1,0 +1,208 @@
+"""Metrics registry: counters, gauges, and latency histograms.
+
+One :class:`Metrics` instance aggregates a run's counters (monotonic
+totals: ops executed, faults injected, breaker transitions), gauges
+(point-in-time values: HDD fanout, replica counts), and latency
+histograms (fixed log-spaced buckets for summaries, plus the exact
+sample set so percentiles match ``numpy.percentile`` bit-for-bit — the
+benchmark tables must not move when they switch to this helper).
+
+:data:`NULL_METRICS` mirrors :data:`~repro.obs.trace.NULL_TRACER`:
+instrumented call sites always hold a registry, and the null one makes
+every ``inc``/``set``/``observe`` a no-op.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Exact linear-interpolated percentile (``numpy.percentile``).
+
+    The single shared implementation behind every ``p50``/``p99``
+    property in the repo (serving results, histograms, load results).
+    """
+    if len(samples) == 0:
+        raise ValueError("percentile of an empty sample set")
+    return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
+
+
+@dataclasses.dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+@dataclasses.dataclass
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+def _default_bounds() -> Tuple[float, ...]:
+    # Log-spaced 1e-3 .. 1e3 (unit-agnostic: ms for serving, kilocycles
+    # for the core — callers pick the unit when they observe).
+    return tuple(float(f"{m:g}") for e in range(-3, 4)
+                 for m in (10.0 ** e, 2.5 * 10 ** e, 5 * 10.0 ** e))
+
+
+class LatencyHistogram:
+    """Fixed-bucket histogram that also retains exact samples.
+
+    Buckets give the cheap at-a-glance shape in text summaries; the
+    retained samples give exact percentiles (simulation runs are
+    bounded, so keeping them is affordable and keeps benchmark numbers
+    identical to the pre-histogram code paths).
+    """
+
+    def __init__(self, name: str,
+                 bounds: Optional[Sequence[float]] = None):
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(
+            sorted(bounds if bounds is not None else _default_bounds()))
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+        self.counts[int(np.searchsorted(self.bounds, value))] += 1
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.samples))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        return percentile(self.samples, q)
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """Non-empty ``(upper_bound, count)`` pairs; the final bound is
+        ``inf`` (overflow)."""
+        edges = list(self.bounds) + [float("inf")]
+        return [(edge, n) for edge, n in zip(edges, self.counts) if n]
+
+    def render(self) -> str:
+        if not self.count:
+            return f"{self.name}: (empty)"
+        return (f"{self.name}: n={self.count} mean={self.mean:.4g} "
+                f"p50={self.percentile(50):.4g} "
+                f"p99={self.percentile(99):.4g} "
+                f"max={max(self.samples):.4g}")
+
+
+class Metrics:
+    """Get-or-create registry of named instruments."""
+
+    enabled: bool = True
+
+    def __init__(self):
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, LatencyHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self.gauges:
+            self.gauges[name] = Gauge(name)
+        return self.gauges[name]
+
+    def histogram(self, name: str,
+                  bounds: Optional[Sequence[float]] = None
+                  ) -> LatencyHistogram:
+        if name not in self.histograms:
+            self.histograms[name] = LatencyHistogram(name, bounds)
+        return self.histograms[name]
+
+    def render(self) -> str:
+        """Text summary table of every instrument, sorted by name."""
+        lines: List[str] = []
+        if self.counters:
+            lines.append("counters:")
+            width = max(len(n) for n in self.counters)
+            for name in sorted(self.counters):
+                value = self.counters[name].value
+                text = f"{value:g}" if value != int(value) \
+                    else f"{int(value)}"
+                lines.append(f"  {name:<{width}}  {text}")
+        if self.gauges:
+            lines.append("gauges:")
+            width = max(len(n) for n in self.gauges)
+            for name in sorted(self.gauges):
+                lines.append(
+                    f"  {name:<{width}}  {self.gauges[name].value:g}")
+        if self.histograms:
+            lines.append("histograms:")
+            for name in sorted(self.histograms):
+                lines.append(f"  {self.histograms[name].render()}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+class _NullCounter(Counter):
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(LatencyHistogram):
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullMetrics(Metrics):
+    """No-op registry: every instrument lookup returns a shared
+    write-ignoring instance."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__()
+        self._counter = _NullCounter("null")
+        self._gauge = _NullGauge("null")
+        self._histogram = _NullHistogram("null", bounds=(1.0,))
+
+    def counter(self, name: str) -> Counter:
+        return self._counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauge
+
+    def histogram(self, name, bounds=None) -> LatencyHistogram:
+        return self._histogram
+
+
+#: Shared no-op registry instance.
+NULL_METRICS = NullMetrics()
+
+
+def or_null_metrics(metrics: Optional[Metrics]) -> Metrics:
+    """``metrics`` if given, else the shared :data:`NULL_METRICS`."""
+    return metrics if metrics is not None else NULL_METRICS

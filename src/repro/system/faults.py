@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 import numpy as np
 
 from ..errors import ConfigError, FaultError
+from ..obs import Metrics, Tracer, or_null, or_null_metrics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from .microservice import InvocationResult, MicroserviceRegistry
@@ -225,10 +226,20 @@ class ResilientClient:
     """
 
     def __init__(self, registry: "MicroserviceRegistry",
-                 policy: Optional[RetryPolicy] = None, seed: int = 0):
+                 policy: Optional[RetryPolicy] = None, seed: int = 0,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[Metrics] = None):
+        """``tracer``/``metrics`` are optional :mod:`repro.obs` hooks
+        (simulated-seconds timebase): every request gets a span with
+        nested attempt, replica-invocation, backoff, and hedge child
+        spans; counters track attempts, failures by kind, and hedges,
+        and ``serving.request_latency_ms`` collects the end-to-end
+        latency histogram. Tracing never perturbs the retry RNG."""
         self.registry = registry
         self.policy = policy if policy is not None else RetryPolicy()
         self._rng = random.Random(seed)
+        self.tracer = or_null(tracer)
+        self.metrics = or_null_metrics(metrics)
 
     def _backoff(self, attempt: int) -> float:
         """Backoff before retry number ``attempt`` (1-based), jittered."""
@@ -237,11 +248,32 @@ class ResilientClient:
         jitter = 1.0 + p.jitter_frac * (2.0 * self._rng.random() - 1.0)
         return base * jitter
 
+    def _trace_invocation(self, node_name: str, start: float,
+                          result: "InvocationResult") -> None:
+        """Span the replica-side work of one successful invocation,
+        with the network/compute breakdown as child spans."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            return
+        span = tracer.begin("replica", start, track=node_name,
+                            node=node_name)
+        t = start
+        tracer.span("net_in", t, t + result.network_in_s)
+        t += result.network_in_s
+        tracer.span("compute", t, t + result.compute_s)
+        t += result.compute_s
+        tracer.span("net_out", t, t + result.network_out_s)
+        tracer.end(span, start + result.total_s)
+
     def invoke(self, name: str, steps: int, now: float = 0.0,
                functional_inputs: Optional[List[np.ndarray]] = None
                ) -> InvocationOutcome:
         """Resiliently serve one request arriving at time ``now``."""
         policy = self.policy
+        tracer, m = self.tracer, self.metrics
+        request = tracer.begin("request", now, track="client",
+                               service=name, steps=steps)
+        m.counter("serving.requests").inc()
         deadline = now + policy.deadline_s
         t = now
         attempts = 0
@@ -265,6 +297,9 @@ class ResilientClient:
             primary = candidates[failovers % len(candidates)]
             attempts += 1
             tried.append(primary.node.name)
+            m.counter("serving.attempts").inc()
+            m.counter(f"serving.replica.{primary.node.name}.attempts") \
+                .inc()
             try:
                 result = primary.invoke(
                     steps, functional_inputs=functional_inputs)
@@ -272,10 +307,22 @@ class ResilientClient:
                 self.registry.record_failure(name, primary, now=t)
                 error_kind, error = "retries_exhausted", str(exc)
                 failovers += 1
-                t += self._backoff(attempts)
+                attempt = tracer.begin(
+                    "attempt", t, track="client", n=attempts,
+                    replica=primary.node.name, ok=False, fault=exc.kind)
+                m.counter(f"serving.faults.{exc.kind}").inc()
+                wait = self._backoff(attempts)
+                tracer.span("backoff", t, t + wait)
+                tracer.end(attempt, t + wait)
+                t += wait
                 continue
             self.registry.record_success(name, primary, now=t)
             latency = result.total_s
+            attempt = tracer.begin(
+                "attempt", t, track="client", n=attempts,
+                replica=primary.node.name, ok=True)
+            self._trace_invocation(primary.node.name, t, result)
+            tracer.end(attempt, t + result.total_s)
             if (policy.hedge_after_s is not None
                     and latency > policy.hedge_after_s):
                 others = [c for c in candidates if c is not primary]
@@ -285,29 +332,56 @@ class ResilientClient:
                     attempts += 1
                     tried.append(hedge_svc.node.name)
                     hedge_t = t + policy.hedge_after_s
+                    m.counter("serving.hedges").inc()
+                    m.counter(f"serving.replica."
+                              f"{hedge_svc.node.name}.attempts").inc()
                     try:
                         hedge_result = hedge_svc.invoke(
                             steps, functional_inputs=functional_inputs)
-                    except FaultError:
+                    except FaultError as exc:
                         self.registry.record_failure(
                             name, hedge_svc, now=hedge_t)
+                        tracer.span("hedge", hedge_t, hedge_t,
+                                    track="client", ok=False,
+                                    replica=hedge_svc.node.name,
+                                    fault=exc.kind)
+                        m.counter(f"serving.faults.{exc.kind}").inc()
                     else:
                         self.registry.record_success(
                             name, hedge_svc, now=hedge_t)
                         hedge_latency = (policy.hedge_after_s
                                          + hedge_result.total_s)
-                        if hedge_latency < latency:
+                        won = hedge_latency < latency
+                        hedge = tracer.begin(
+                            "hedge", hedge_t, track="client", ok=True,
+                            replica=hedge_svc.node.name, won=won)
+                        self._trace_invocation(
+                            hedge_svc.node.name, hedge_t, hedge_result)
+                        tracer.end(hedge,
+                                   hedge_t + hedge_result.total_s)
+                        if won:
+                            m.counter("serving.hedge_wins").inc()
                             latency = hedge_latency
                             result = hedge_result
             finish = t + latency
+            met = finish <= deadline
+            tracer.end(request, finish, ok=True, attempts=attempts,
+                       deadline_met=met, hedged=hedged)
+            m.histogram("serving.request_latency_ms") \
+                .observe((finish - now) * 1e3)
+            if not met:
+                m.counter("serving.deadline_misses").inc()
             return InvocationOutcome(
                 service=name, ok=True, result=result, attempts=attempts,
                 replicas_tried=tried, latency_s=finish - now,
-                deadline_met=finish <= deadline, hedged=hedged)
+                deadline_met=met, hedged=hedged)
         else:
             error_kind = error_kind or "retries_exhausted"
             error = error or (f"{name}: {policy.max_attempts} attempts "
                               "exhausted")
+        tracer.end(request, t, ok=False, attempts=attempts,
+                   error_kind=error_kind)
+        m.counter(f"serving.failures.{error_kind}").inc()
         return InvocationOutcome(
             service=name, ok=False, result=None, attempts=attempts,
             replicas_tried=tried, latency_s=t - now, deadline_met=False,

@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..errors import ReproError
+from ..obs import Metrics, Tracer, or_null, or_null_metrics, percentile
 from .faults import FaultInjector, InvocationOutcome, ResilientClient
 
 
@@ -57,10 +58,11 @@ class LoadResult:
     requests: List[ServedRequest]
 
     def percentile_latency(self, q: float) -> float:
+        """Latency percentile (seconds) via the shared
+        :func:`repro.obs.percentile` helper."""
         if not self.requests:
             raise LoadError("no requests served")
-        return float(np.percentile([r.latency for r in self.requests],
-                                   q))
+        return percentile([r.latency for r in self.requests], q)
 
     @property
     def p50_ms(self) -> float:
@@ -243,11 +245,12 @@ class FaultScenarioResult:
         return last_finish - self.arrivals[0]
 
     def percentile_latency_ms(self, q: float) -> float:
-        """Latency percentile over *successful* requests (ms)."""
+        """Latency percentile over *successful* requests (ms), via the
+        shared :func:`repro.obs.percentile` helper."""
         lat = [o.latency_s for o in self.outcomes if o.ok]
         if not lat:
             raise LoadError("no successful requests")
-        return float(np.percentile(lat, q)) * 1e3
+        return percentile(lat, q) * 1e3
 
     @property
     def p50_ms(self) -> float:
@@ -273,7 +276,9 @@ class FaultScenarioResult:
 def run_fault_scenario(client: ResilientClient, service: str,
                        arrivals: Sequence[float], steps: int,
                        injector: Optional[FaultInjector] = None,
-                       events: Sequence[FaultEvent] = ()
+                       events: Sequence[FaultEvent] = (),
+                       tracer: Optional[Tracer] = None,
+                       metrics: Optional[Metrics] = None
                        ) -> FaultScenarioResult:
     """Drive ``arrivals`` through a resilient client under faults.
 
@@ -284,11 +289,18 @@ def run_fault_scenario(client: ResilientClient, service: str,
     point is the fault/recovery behavior, and
     :class:`Batch1Server`/:class:`BatchingServer` cover queueing.
 
+    ``tracer`` (simulated-seconds timebase) receives an instant event
+    per applied :class:`FaultEvent`; ``metrics`` gets scenario-level
+    served/failed counters. Per-request spans come from the *client's*
+    tracer — pass the same instance to both for one unified trace.
+
     Fully deterministic: fixed seeds (injector + client) and a fixed
-    arrival sequence reproduce identical outcomes.
+    arrival sequence reproduce identical outcomes, traced or not.
     """
     if events and injector is None:
         raise LoadError("fault events scheduled but no injector given")
+    tracer = or_null(tracer)
+    metrics = or_null_metrics(metrics)
     arrivals = sorted(arrivals)
     pending = sorted(events, key=lambda e: e.time_s)
     idx = 0
@@ -300,9 +312,17 @@ def run_fault_scenario(client: ResilientClient, service: str,
                 injector.crash(event.node)
             else:
                 injector.repair(event.node)
+            tracer.instant(f"fault:{event.action}", event.time_s,
+                           track="faults", node=event.node)
+            metrics.counter(f"scenario.{event.action}_events").inc()
             idx += 1
-        outcomes.append(client.invoke(service, steps, now=arrival))
+        outcome = client.invoke(service, steps, now=arrival)
+        outcomes.append(outcome)
+        metrics.counter("scenario.served" if outcome.ok
+                        else "scenario.failed").inc()
     counts = dict(injector.counts) if injector is not None else {}
+    for kind, count in counts.items():
+        metrics.gauge(f"scenario.injected.{kind}").set(count)
     return FaultScenarioResult(outcomes=outcomes,
                                arrivals=list(arrivals),
                                fault_counts=counts)

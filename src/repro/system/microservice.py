@@ -21,6 +21,7 @@ import numpy as np
 
 from ..compiler.lowering import CompiledModel
 from ..errors import FaultError, ReproError
+from ..obs import Metrics, Tracer, or_null, or_null_metrics
 from ..timing.scheduler import TimingSimulator
 from .network import Locality, NetworkModel
 
@@ -168,6 +169,9 @@ class _ReplicaState:
     #: Breaker is open (replica excluded) until this simulated time;
     #: past it, the replica is admitted as a half-open probe.
     open_until: float = -math.inf
+    #: Last breaker state surfaced to the tracer (transition edges are
+    #: emitted as instant events when this changes).
+    last_reported: str = "closed"
 
     def state(self, now: float) -> str:
         if self.open_until == -math.inf:
@@ -189,14 +193,33 @@ class MicroserviceRegistry:
     """
 
     def __init__(self, failure_threshold: int = 3,
-                 recovery_timeout_s: float = 25e-3):
+                 recovery_timeout_s: float = 25e-3,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[Metrics] = None):
         if failure_threshold < 1:
             raise ServiceError("failure_threshold must be >= 1")
         if recovery_timeout_s < 0:
             raise ServiceError("recovery_timeout_s must be >= 0")
         self.failure_threshold = failure_threshold
         self.recovery_timeout_s = recovery_timeout_s
+        self.tracer = or_null(tracer)
+        self.metrics = or_null_metrics(metrics)
         self._services: Dict[str, List[_ReplicaState]] = {}
+
+    def _note_state(self, name: str, r: _ReplicaState,
+                    now: float) -> None:
+        """Emit an instant event on any breaker state transition since
+        the last observation of this replica (closed -> open on the
+        threshold failure, open -> half_open when the probe window
+        opens, half_open -> closed on probe success, ...)."""
+        state = r.state(now)
+        if state != r.last_reported:
+            self.tracer.instant(
+                "breaker", now, track="breaker", service=name,
+                replica=r.service.node.name,
+                from_state=r.last_reported, to_state=state)
+            self.metrics.counter(f"breaker.to_{state}").inc()
+            r.last_reported = state
 
     # -- registration -----------------------------------------------------
 
@@ -262,6 +285,7 @@ class MicroserviceRegistry:
         self.lookup(name)
         probes, closed = [], []
         for r in self._services[name]:
+            self._note_state(name, r, now)
             state = r.state(now)
             if state == "half_open":
                 probes.append(r.service)
@@ -284,19 +308,23 @@ class MicroserviceRegistry:
                        now: float = 0.0) -> None:
         """A replica served a request: close its breaker."""
         r = self._replica_state(name, service)
+        self._note_state(name, r, now)
         r.consecutive_failures = 0
         r.open_until = -math.inf
+        self._note_state(name, r, now)
 
     def record_failure(self, name: str, service: HardwareMicroservice,
                        now: float = 0.0) -> None:
         """A replica failed a request: count it, and open the breaker
         at the threshold (a failed half-open probe re-opens it)."""
         r = self._replica_state(name, service)
+        self._note_state(name, r, now)
         r.consecutive_failures += 1
         was_half_open = r.state(now) == "half_open"
         if was_half_open or \
                 r.consecutive_failures >= self.failure_threshold:
             r.open_until = now + self.recovery_timeout_s
+        self._note_state(name, r, now)
 
     def breaker_state(self, name: str, service: HardwareMicroservice,
                       now: float = 0.0) -> str:

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..errors import AllReplicasDownError, DeadlineExceededError, \
     FaultError, ReproError
+from ..obs import Tracer, or_null
 from .microservice import HardwareMicroservice, InvocationResult, \
     MicroserviceRegistry
 
@@ -95,9 +96,15 @@ class FederatedRuntime:
     """
 
     def __init__(self, registry: MicroserviceRegistry,
-                 client: Optional["ResilientClient"] = None):
+                 client: Optional["ResilientClient"] = None,
+                 tracer: Optional[Tracer] = None):
         self.registry = registry
         self.client = client
+        #: Optional :class:`~repro.obs.Tracer` (simulated-seconds
+        #: timebase): one ``plan`` span per execution with a child span
+        #: per CPU/FPGA stage, and a ``fallback`` instant event when a
+        #: stage completes on its CPU escape hatch.
+        self.tracer = or_null(tracer)
 
     def _invoke_resilient(self, stage: FpgaStage, seq: List, steps: int,
                           now: float, functional: bool):
@@ -142,23 +149,35 @@ class FederatedRuntime:
         """
         value: object = inputs
         latencies: List[float] = []
+        tracer = self.tracer
+        plan = tracer.begin("plan", 0.0, track="runtime",
+                            stages=len(stages))
         for stage in stages:
+            t0 = sum(latencies)
             if isinstance(stage, CpuStage):
                 value = stage.fn(value)
                 latencies.append(stage.latency_s)
+                tracer.span(f"cpu:{stage.name}", t0, t0 + stage.latency_s)
             elif isinstance(stage, FpgaStage):
                 seq = value if isinstance(value, list) else [value]
                 steps = stage.steps if stage.steps is not None else len(seq)
+                span = tracer.begin(f"fpga:{stage.name}", t0,
+                                    service=stage.service, steps=steps)
                 if self.client is not None:
                     latency, result, used_fallback = \
                         self._invoke_resilient(stage, seq, steps,
-                                               now=sum(latencies),
+                                               now=t0,
                                                functional=functional)
                     if used_fallback:
                         value = stage.fallback(seq)
+                        tracer.instant("fallback", t0 + latency,
+                                       stage=stage.name,
+                                       service=stage.service)
                     elif functional:
                         value = result.outputs
                     latencies.append(latency)
+                    tracer.end(span, t0 + latency,
+                               fallback=used_fallback)
                 else:
                     service: HardwareMicroservice = \
                         self.registry.lookup(stage.service)
@@ -168,9 +187,12 @@ class FederatedRuntime:
                     if functional:
                         value = result.outputs
                     latencies.append(result.total_s)
+                    tracer.end(span, t0 + result.total_s)
             else:  # pragma: no cover - defensive
                 raise RuntimeError_(f"unknown stage {stage!r}")
-        return PlanResult(value=value, total_latency_s=sum(latencies),
+        total = sum(latencies)
+        tracer.end(plan, total)
+        return PlanResult(value=value, total_latency_s=total,
                           stage_latencies=latencies)
 
 

@@ -84,6 +84,23 @@ class HddTree:
         dispatch = instructions_per_chain * LatencyConstants().dispatch_interval
         return issue_cycles_per_chain >= dispatch
 
+    def annotate(self, metrics, rows: int = 1, cols: int = 1) -> None:
+        """Publish the tree's structural facts into a
+        :class:`~repro.obs.Metrics` registry: node counts, data-plane
+        fanout, and the primitive-op expansion of one ``mv_mul`` at the
+        given mega-SIMD setting (Section V-C's "one compound
+        instruction dispatches millions of primitive ops")."""
+        metrics.gauge("hdd.total_nodes").set(self.total_nodes)
+        metrics.gauge("hdd.top_level_decoders").set(
+            len(self.top_level_decoders))
+        metrics.gauge("hdd.second_level_schedulers").set(
+            len(self.second_level_schedulers))
+        metrics.gauge("hdd.third_level_decoders").set(
+            len(self.third_level_decoders))
+        metrics.gauge("hdd.data_plane_fanout").set(self.data_plane_fanout)
+        metrics.counter("hdd.mv_mul_primitive_ops").inc(
+            self.mv_mul_primitive_ops(rows, cols))
+
 
 def build_hdd_tree(config: NpuConfig) -> HddTree:
     """Construct the decoder hierarchy for ``config``.

@@ -45,6 +45,7 @@ from ..isa.chain import InstructionChain
 from ..isa.memspace import MemId, ScalarReg
 from ..isa.opcodes import Opcode
 from ..isa.program import NpuProgram, SetScalar
+from ..obs import Metrics, Tracer, or_null, or_null_metrics
 from .latency import LatencyConstants, LatencyModel
 from .report import ChainRecord, TimingReport
 
@@ -74,7 +75,9 @@ class TimingSimulator:
     def __init__(self, config: NpuConfig,
                  constants: Optional[LatencyConstants] = None,
                  record_chains: bool = False,
-                 replay_loops: bool = False):
+                 replay_loops: bool = False,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[Metrics] = None):
         """
         Args:
             config: The NPU instance to model.
@@ -87,11 +90,21 @@ class TimingSimulator:
                 CNN-specialized variant's behaviour (the per-pixel inner
                 loop would otherwise be setup-bound) and the basis of the
                 batch-interleaving future-work ablation.
+            tracer: Optional :class:`~repro.obs.Tracer` (cycle
+                timebase) receiving one span per scheduled chain — with
+                ``issue``/``drain`` child spans on the MVM/MFU/transfer
+                tracks — plus a root ``run`` span. Tracing never changes
+                the schedule: the same cycle counts come out either way.
+            metrics: Optional :class:`~repro.obs.Metrics` registry:
+                MVM/MFU busy cycles, dispatch-stall and data-stall
+                cycles, chain and instruction totals.
         """
         self.config = config
         self.latency = LatencyModel(config, constants)
         self.record_chains = record_chains
         self.replay_loops = replay_loops
+        self.tracer = or_null(tracer)
+        self.metrics = or_null_metrics(metrics)
 
     def run(self, program: NpuProgram,
             bindings: Optional[Dict[str, int]] = None,
@@ -112,6 +125,8 @@ class TimingSimulator:
         records: Optional[List[ChainRecord]] = \
             [] if self.record_chains else None
 
+        run_span = self.tracer.begin("run", 0.0, track="scheduler",
+                                     config=self.config.name)
         for event in program.events(bindings):
             if isinstance(event, SetScalar):
                 if event.reg is ScalarReg.Rows:
@@ -130,6 +145,13 @@ class TimingSimulator:
         total = state.last_completion
         if include_invocation_overhead:
             total += self.latency.constants.invocation_overhead
+        self.tracer.end(run_span, total, chains=state.chains,
+                        instructions=state.instructions)
+        m = self.metrics
+        m.counter("timing.chains").inc(state.chains)
+        m.counter("timing.instructions").inc(state.instructions)
+        m.counter("timing.cycles").inc(total)
+        m.counter("timing.mvm_busy_cycles").inc(state.mvm_busy)
         return TimingReport(
             config=self.config, total_cycles=total,
             nominal_ops=nominal_ops, mvm_busy_cycles=state.mvm_busy,
@@ -158,11 +180,9 @@ class TimingSimulator:
             state.seen_chains.add(id(chain))
         state.dispatch_time += setup
 
-        start = state.dispatch_time
-        if chain.has_mv_mul:
-            start = max(start, state.mvm_free)
-        else:
-            start = max(start, state.mfu_free)
+        resource_free = state.mvm_free if chain.has_mv_mul \
+            else state.mfu_free
+        start = max(state.dispatch_time, resource_free)
 
         # Head read: the chain streams its input from time `start`; the
         # producer's first output must already be in the register file.
@@ -216,6 +236,27 @@ class TimingSimulator:
                 index=state.chains, start=start, issue=lat.issue,
                 depth_first=lat.depth_first, completion=completion,
                 has_mv_mul=chain.has_mv_mul, rows=rows, cols=cols))
+        tracer, m = self.tracer, self.metrics
+        if tracer.enabled or m.enabled:
+            track = "MVM" if chain.has_mv_mul else "MFU"
+            # Stall attribution: the resource sat idle for the dispatch
+            # stream (setup-bound, the small-RNN floor) and then for
+            # operand/tile readiness (data-bound).
+            dispatch_stall = max(0.0, state.dispatch_time - resource_free)
+            data_stall = start - max(state.dispatch_time, resource_free)
+            span = tracer.begin(
+                "chain", start, track=track, index=state.chains,
+                mv_mul=chain.has_mv_mul, issue=lat.issue,
+                depth_first=lat.depth_first, rows=rows, cols=cols,
+                instructions=n_instr, dispatch_stall=dispatch_stall,
+                data_stall=data_stall)
+            tracer.span("issue", start, start + lat.issue)
+            tracer.span("drain", start + lat.issue, completion)
+            tracer.end(span, completion)
+            m.counter("timing.%s_issue_cycles" % track.lower()) \
+                .inc(lat.issue)
+            m.counter("timing.dispatch_stall_cycles").inc(dispatch_stall)
+            m.counter("timing.data_stall_cycles").inc(data_stall)
         state.chains += 1
 
     # -- matrix chains -------------------------------------------------------
@@ -249,6 +290,10 @@ class TimingSimulator:
             for t in range(tiles):
                 state.ready[(target, wr.index + t)] = completion
         state.transfer_free = completion
+        self.tracer.span("transfer", start, completion, track="transfer",
+                         index=state.chains, tiles=tiles,
+                         dest=wr.mem_id.name)
+        self.metrics.counter("timing.transfer_cycles").inc(cycles)
         state.instructions += n_instr
         state.chains += 1
         state.last_completion = max(state.last_completion, completion)

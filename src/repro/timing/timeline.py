@@ -1,10 +1,15 @@
 """Schedule visualization: text Gantt charts of chain execution.
 
-Renders a :class:`~repro.timing.report.TimingReport` recorded with
-``record_chains=True`` as an ASCII timeline, one row per chain, so the
+Renders chain schedules as an ASCII timeline, one row per chain, so the
 two performance regimes are visible at a glance: back-to-back MVM
 occupancy for large models, and the chain-setup spacing floor for small
-ones.
+ones. The renderer consumes :class:`~repro.timing.report.ChainRecord`
+rows from either source of schedule data — a
+:class:`~repro.timing.report.TimingReport` recorded with
+``record_chains=True``, or the chain spans a
+:class:`~repro.obs.Tracer` captured from the same run
+(:func:`records_from_trace` / :func:`render_trace_timeline`) — so the
+trace and the report are two views over one schedule.
 """
 
 from __future__ import annotations
@@ -13,7 +18,8 @@ import dataclasses
 from typing import List, Optional
 
 from ..errors import ExecutionError
-from .report import TimingReport
+from ..obs import Tracer
+from .report import ChainRecord, TimingReport
 
 
 @dataclasses.dataclass(frozen=True)
@@ -49,6 +55,96 @@ def occupancy(report: TimingReport) -> OccupancySummary:
         mvm_chains=mvm_chains)
 
 
+def records_from_trace(tracer: Tracer) -> List[ChainRecord]:
+    """Rebuild :class:`ChainRecord` rows from a scheduler trace.
+
+    The :class:`~repro.timing.scheduler.TimingSimulator` emits one
+    ``chain`` span per scheduled vector chain with the record's fields
+    as attributes; this inverts that mapping so the Gantt renderer (and
+    anything else built on records) runs off shared span data.
+    """
+    records = []
+    for span in tracer.spans:
+        if span.name != "chain" or "issue" not in span.attrs:
+            continue
+        a = span.attrs
+        records.append(ChainRecord(
+            index=a["index"], start=span.start, issue=a["issue"],
+            depth_first=a["depth_first"], completion=span.end,
+            has_mv_mul=a["mv_mul"], rows=a["rows"], cols=a["cols"]))
+    return records
+
+
+def occupancy_from_trace(tracer: Tracer) -> OccupancySummary:
+    """Occupancy summary computed purely from a scheduler trace.
+
+    Matches :func:`occupancy` of the same run exactly: total cycles
+    come from the root ``run`` span, MVM-busy cycles from summing the
+    chain spans' ``issue`` attributes in recording order (the same
+    accumulation the scheduler performs).
+    """
+    runs = [s for s in tracer.spans if s.name == "run"]
+    if not runs:
+        raise ExecutionError(
+            "trace has no 'run' span; pass the tracer to "
+            "TimingSimulator and run a program first")
+    run = runs[-1]
+    mvm_busy = 0.0
+    chains = 0
+    mvm_chains = 0
+    for span in tracer.spans:
+        if span.name == "chain" and "issue" in span.attrs \
+                and span.parent == run.id:
+            chains += 1
+            if span.attrs["mv_mul"]:
+                mvm_chains += 1
+                mvm_busy += span.attrs["issue"]
+        elif span.name == "transfer" and span.parent == run.id:
+            chains += 1
+    return OccupancySummary(
+        total_cycles=run.end - run.start, mvm_busy_cycles=mvm_busy,
+        chains=chains, mvm_chains=mvm_chains)
+
+
+def _render(records: List[ChainRecord], total_records: int,
+            summary: OccupancySummary, width: int,
+            labels: Optional[List[str]]) -> str:
+    if not records:
+        return "(no chains executed)"
+    t0 = min(r.start for r in records)
+    t1 = max(r.completion for r in records)
+    span = max(t1 - t0, 1.0)
+    scale = (width - 1) / span
+
+    def col(t: float) -> int:
+        return int((t - t0) * scale)
+
+    lines = [f"timeline: {len(records)} chains over "
+             f"{span:.0f} cycles (1 col ~ {span / width:.0f} cyc)"]
+    for rec in records:
+        row = [" "] * width
+        a = col(rec.start)
+        b = max(col(rec.start + rec.issue), a + 1)
+        c = max(col(rec.completion), b)
+        mark = "M" if rec.has_mv_mul else "="
+        for x in range(a, min(b, width)):
+            row[x] = mark
+        for x in range(b, min(c, width)):
+            row[x] = "-"
+        # Labels are addressed by the record's chain index, not its row
+        # position: a report truncated to max_chains (or with matrix
+        # chains interleaved) must still pair each row with its own
+        # label.
+        label = labels[rec.index] if labels and rec.index < len(labels) \
+            else f"#{rec.index}"
+        lines.append(f"{label:>10} |{''.join(row)}|")
+    if total_records > len(records):
+        lines.append(f"... {total_records - len(records)} more "
+                     "chains not shown")
+    lines.append(summary.render())
+    return "\n".join(lines)
+
+
 def render_timeline(report: TimingReport, width: int = 72,
                     max_chains: int = 48,
                     labels: Optional[List[str]] = None) -> str:
@@ -62,33 +158,15 @@ def render_timeline(report: TimingReport, width: int = 72,
     if report.records is None:
         raise ExecutionError(
             "timeline requires a report recorded with record_chains=True")
-    records = report.records[:max_chains]
-    if not records:
-        return "(no chains executed)"
-    t0 = min(r.start for r in records)
-    t1 = max(r.completion for r in records)
-    span = max(t1 - t0, 1.0)
-    scale = (width - 1) / span
+    return _render(report.records[:max_chains], len(report.records),
+                   occupancy(report), width, labels)
 
-    def col(t: float) -> int:
-        return int((t - t0) * scale)
 
-    lines = [f"timeline: {len(records)} chains over "
-             f"{span:.0f} cycles (1 col ~ {span / width:.0f} cyc)"]
-    for i, rec in enumerate(records):
-        row = [" "] * width
-        a = col(rec.start)
-        b = max(col(rec.start + rec.issue), a + 1)
-        c = max(col(rec.completion), b)
-        mark = "M" if rec.has_mv_mul else "="
-        for x in range(a, min(b, width)):
-            row[x] = mark
-        for x in range(b, min(c, width)):
-            row[x] = "-"
-        label = labels[i] if labels and i < len(labels) else f"#{rec.index}"
-        lines.append(f"{label:>10} |{''.join(row)}|")
-    if len(report.records) > max_chains:
-        lines.append(f"... {len(report.records) - max_chains} more "
-                     "chains not shown")
-    lines.append(occupancy(report).render())
-    return "\n".join(lines)
+def render_trace_timeline(tracer: Tracer, width: int = 72,
+                          max_chains: int = 48,
+                          labels: Optional[List[str]] = None) -> str:
+    """Render the same Gantt chart from a scheduler trace instead of a
+    recorded report — one renderer, two data sources."""
+    records = records_from_trace(tracer)
+    return _render(records[:max_chains], len(records),
+                   occupancy_from_trace(tracer), width, labels)

@@ -1,5 +1,7 @@
 """Tests for the CLI and the timeline renderer."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -7,6 +9,7 @@ from repro.compiler.lowering import compile_rnn_shape
 from repro.config import BW_S10
 from repro.errors import ExecutionError
 from repro.timing import TimingSimulator, occupancy, render_timeline
+from repro.timing.report import ChainRecord, TimingReport
 
 
 class TestCli:
@@ -89,3 +92,74 @@ class TestTimeline:
         text = render_timeline(report, max_chains=3,
                                labels=["alpha", "beta"])
         assert "alpha" in text and "beta" in text
+
+    def test_labels_follow_chain_index_not_row_position(self):
+        # Regression: rows must be labeled by each record's chain
+        # index, not its row position — records with gaps in their
+        # index sequence (matrix chains interleaved, truncated views)
+        # used to shift every following label up by one.
+        records = [
+            ChainRecord(index=0, start=0.0, issue=4.0, depth_first=2.0,
+                        completion=10.0, has_mv_mul=True, rows=1, cols=1),
+            ChainRecord(index=2, start=10.0, issue=4.0, depth_first=2.0,
+                        completion=20.0, has_mv_mul=False, rows=1,
+                        cols=1),
+        ]
+        report = TimingReport(config=BW_S10, total_cycles=20.0,
+                              nominal_ops=0.0, mvm_busy_cycles=4.0,
+                              chains_executed=3,
+                              instructions_dispatched=6,
+                              records=records)
+        labels = ["gates", "SKIPPED", "pointwise"]
+        text = render_timeline(report, labels=labels)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert "gates" in rows[0]
+        assert "pointwise" in rows[1]
+        assert "SKIPPED" not in text
+        # Records beyond the label list fall back to their index.
+        assert "#2" in render_timeline(report, labels=["gates"])
+
+
+class TestTraceCli:
+    def test_trace_lstm_writes_valid_chrome_trace(self, tmp_path,
+                                                  capsys):
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        assert main(["trace", "lstm", "--hidden", "256", "--steps", "3",
+                     "--out", str(out), "--jsonl", str(jsonl)]) == 0
+        text = capsys.readouterr().out
+        assert "occupancy (report):" in text
+        assert "trace/report MVM occupancy match: yes" in text
+        data = json.loads(out.read_text())
+        events = data["traceEvents"]
+        assert {e["ph"] for e in events} >= {"X", "M"}
+        assert any(e["ph"] == "X" and e["name"] == "chain"
+                   for e in events)
+        assert any(e["ph"] == "X" and e["name"] == "run"
+                   for e in events)
+        for line in jsonl.read_text().splitlines():
+            json.loads(line)
+
+    def test_trace_serve_faults_nested_spans_and_breaker_events(
+            self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "serve-faults", "--requests", "150",
+                     "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "availability:" in text
+        events = json.loads(out.read_text())["traceEvents"]
+        by_name = {}
+        for e in events:
+            by_name.setdefault(e["name"], []).append(e)
+        # request -> attempt -> replica span nesting (same trace).
+        assert len(by_name["request"]) == 150
+        assert by_name["attempt"] and by_name["replica"]
+        # Scheduled crash/repair markers and breaker transitions.
+        assert by_name["fault:crash"][0]["ph"] == "i"
+        assert "fault:repair" in by_name
+        assert any(e["args"].get("to_state") == "open"
+                   for e in by_name.get("breaker", []))
+
+    def test_trace_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "resnet"])

@@ -8,6 +8,7 @@ from repro.compiler import compile_lstm
 from repro.errors import AllReplicasDownError, ConfigError, \
     DeadlineExceededError, FaultError
 from repro.models import LstmReference
+from repro.obs import Metrics, Tracer
 from repro.system import (
     CpuStage,
     FaultEvent,
@@ -238,6 +239,35 @@ class TestCircuitBreaker:
         assert reg.healthy("svc", now=0.5) == [reg.replicas("svc")[1]]
         assert reg.breaker_state("svc", primary, now=1.5) == "half_open"
         assert reg.healthy("svc", now=1.5)[0] is primary
+
+    def test_lifecycle_emits_transition_events(self, compiled):
+        """Full breaker lifecycle, observed through tracer events:
+        closed -> open on the 3rd consecutive failure, open ->
+        half_open once the 25 ms probe window passes, half_open ->
+        closed on probe success."""
+        tracer = Tracer(unit="s")
+        metrics = Metrics()
+        reg = replicated_registry(compiled, n=1, failure_threshold=3,
+                                  recovery_timeout_s=25e-3,
+                                  tracer=tracer, metrics=metrics)
+        svc = reg.replicas("svc")[0]
+        for t in (1e-3, 2e-3, 3e-3):
+            reg.record_failure("svc", svc, now=t)
+        # Probe window: 3 ms + 25 ms = 28 ms; past it the replica is
+        # re-admitted as a half-open probe.
+        assert reg.healthy("svc", now=29e-3)[0] is svc
+        reg.record_success("svc", svc, now=30e-3)
+        events = tracer.find_events(name="breaker")
+        assert [(e.attrs["from_state"], e.attrs["to_state"])
+                for e in events] == [("closed", "open"),
+                                     ("open", "half_open"),
+                                     ("half_open", "closed")]
+        assert [e.time for e in events] == [3e-3, 29e-3, 30e-3]
+        assert all(e.attrs["service"] == "svc"
+                   and e.attrs["replica"] == "svc-0" for e in events)
+        assert metrics.counter("breaker.to_open").value == 1
+        assert metrics.counter("breaker.to_half_open").value == 1
+        assert metrics.counter("breaker.to_closed").value == 1
 
     def test_success_closes_failed_probe_reopens(self, compiled):
         reg = replicated_registry(compiled, n=1, failure_threshold=1,
