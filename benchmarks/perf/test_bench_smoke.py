@@ -1,0 +1,79 @@
+"""Smoke test for the perf harness (the CI perf gate).
+
+Runs the quick suite end to end through ``scripts/bench.py``, checks the
+``BENCH_perf.json`` payload shape, and asserts the vectorized path beats
+the naive reference on the headline LSTM workload — the same gate CI
+applies. Full-suite numbers live in the committed BENCH_perf.json.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro.harness.perf import (
+    HEADLINE,
+    bench_functional_rnn,
+    headline_speedup,
+    render_table,
+    results_from_json,
+    run_suite,
+)
+from repro.config import BW_S5
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def quick_payload():
+    return run_suite(quick=True)
+
+
+def test_quick_suite_payload_shape(quick_payload):
+    assert quick_payload["benchmark"] == "perf"
+    assert quick_payload["quick"] is True
+    head = quick_payload["headline"]
+    assert (head["kind"], head["hidden"], head["config"]) == HEADLINE
+    names = {(r["name"], r["config"]) for r in quick_payload["results"]}
+    assert (f"functional_{HEADLINE[0]}_h{HEADLINE[1]}", HEADLINE[2]) in names
+    for row in quick_payload["results"]:
+        assert row["unit_ms"] > 0
+        assert row["repeats"] >= 1
+
+
+def test_headline_vectorized_beats_naive(quick_payload):
+    speedup = headline_speedup(results_from_json(quick_payload))
+    assert speedup is not None
+    assert speedup > 1.0, (
+        f"vectorized path is {speedup:.2f}x the naive reference on the "
+        f"headline LSTM — the perf layer regressed")
+
+
+def test_render_and_roundtrip(quick_payload):
+    results = results_from_json(quick_payload)
+    table = render_table(results)
+    assert "speedup" in table
+    for r in results:
+        assert r.name in table
+
+
+def test_bench_result_guards_divergence():
+    """The harness itself must reject a divergent fast path — spot-check
+    the equivalence assertion runs (it raises, not warns, on mismatch)."""
+    res = bench_functional_rnn("lstm", 128, BW_S5, steps=2, repeats=1)
+    assert res.speedup is not None  # warm-up equivalence check passed
+
+
+def test_cli_driver_writes_json(tmp_path, capsys):
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
+    try:
+        import bench
+    finally:
+        sys.path.pop(0)
+    out = tmp_path / "BENCH_perf.json"
+    rc = bench.main(["--quick", "--output", str(out)])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["headline"]["speedup"] is not None
+    assert "headline" in capsys.readouterr().out

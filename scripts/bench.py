@@ -1,0 +1,60 @@
+"""Perf benchmark driver: time the simulator hot paths, record the
+trajectory, and gate on the vectorized-vs-naive LSTM speedup.
+
+Runs the :mod:`repro.harness.perf` suite — functional LSTM/GRU execution
+(vectorized vs. ``naive=True``), timing-simulator scheduling, and BFP
+quantization on the Table IV configs — prints a comparison table, and
+writes ``BENCH_perf.json`` at the repository root::
+
+    PYTHONPATH=src python scripts/bench.py            # full suite
+    PYTHONPATH=src python scripts/bench.py --quick    # CI smoke subset
+
+Exits non-zero if the vectorized path is slower than the naive reference
+on the headline LSTM workload (the CI perf-smoke gate). See
+docs/PERFORMANCE.md for how to read the numbers.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.harness.perf import (headline_speedup, render_table,
+                                results_from_json, run_suite)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small workloads / fewer repeats (CI smoke)")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_perf.json",
+                        help="output JSON path (default: repo root)")
+    args = parser.parse_args(argv)
+
+    payload = run_suite(quick=args.quick)
+    results = results_from_json(payload)
+    print(render_table(results))
+
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    speedup = headline_speedup(results)
+    head = payload["headline"]
+    if speedup is None:
+        print(f"headline workload {head['kind']} h={head['hidden']} "
+              f"({head['config']}) missing from results", file=sys.stderr)
+        return 2
+    print(f"headline {head['kind']} h={head['hidden']} on "
+          f"{head['config']}: vectorized is {speedup:.2f}x naive")
+    if speedup < 1.0:
+        print("FAIL: vectorized path is slower than the naive reference",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -68,14 +68,17 @@ class CompiledModel:
     ops_per_step: int = 0
 
     def new_simulator(self, exact: bool = False, tracer=None,
-                      metrics=None) -> FunctionalSimulator:
+                      metrics=None, naive: bool = False) -> FunctionalSimulator:
         """Create a simulator with this model's weights pinned on chip.
 
         ``tracer``/``metrics`` are optional :mod:`repro.obs` hooks
-        passed through to the :class:`FunctionalSimulator`.
+        passed through to the :class:`FunctionalSimulator`; ``naive``
+        selects the reference per-tile ``mv_mul`` path (bit-identical,
+        used by the perf benchmark and equivalence tests).
         """
         sim = FunctionalSimulator(self.config, exact=exact,
-                                  tracer=tracer, metrics=metrics)
+                                  tracer=tracer, metrics=metrics,
+                                  naive=naive)
         self.loader(sim)
         return sim
 

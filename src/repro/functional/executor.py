@@ -16,9 +16,10 @@ pipeline values are float16 — unless the simulator is built with
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import math
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -32,9 +33,14 @@ from ..isa.program import NpuProgram, SetScalar
 from ..memory.dram import Dram
 from ..memory.netq import NetworkQueues
 from ..memory.regfile import MatrixRegisterFile, VectorRegisterFile
-from ..numerics.bfp import BfpFormat, quantize, to_float16
+from ..numerics.bfp import BfpFormat, decompose, quantize, to_float16
 from ..obs import Metrics, Tracer, or_null, or_null_metrics
 from . import ops
+
+#: Quantized MVM input vectors memoized per unique buffer content.
+_INPUT_CACHE_SLOTS = 256
+#: Derived (mantissa/float64) weight windows kept per simulator.
+_DERIVED_WINDOW_SLOTS = 64
 
 
 @dataclasses.dataclass
@@ -59,7 +65,8 @@ class FunctionalSimulator:
 
     def __init__(self, config: NpuConfig, exact: bool = False,
                  tracer: Optional[Tracer] = None,
-                 metrics: Optional[Metrics] = None):
+                 metrics: Optional[Metrics] = None,
+                 naive: bool = False):
         """
         Args:
             config: The NPU instance to simulate.
@@ -71,13 +78,37 @@ class FunctionalSimulator:
                 retired instruction count (one tick per instruction).
             metrics: Optional :class:`~repro.obs.Metrics` registry
                 receiving per-opcode counters, MAC, and FLOP totals.
+            naive: Execute ``mv_mul`` with the reference per-tile loop
+                (one MRF tile read and one small matmul per tile,
+                re-quantizing inputs on every call) instead of the
+                vectorized window path. Bit-identical to the default;
+                kept as the baseline for the perf benchmark harness and
+                the equivalence test suite (see docs/PERFORMANCE.md).
         """
         self.config = config
         self.tracer = or_null(tracer)
         self.metrics = or_null_metrics(metrics)
+        self.naive = naive
+        #: Fast no-observer check: when False, per-instruction spans and
+        #: counters are skipped entirely (the trace clock still advances).
+        self._observing = self.tracer.enabled or self.metrics.enabled
+        #: Pre-resolved per-opcode counters (avoids a string format and
+        #: registry lookup per retired instruction).
+        self._op_counters: Dict[str, object] = {}
+        #: Chains whose MFU capacity check already passed (chain objects
+        #: are immutable; loop replays revisit the same objects).
+        self._validated_chains: set = set()
         #: Trace timebase: instructions retired so far.
         self._trace_clock = 0
         self.exact = exact or config.mantissa_bits == 0
+        # Memoized quantized MVM input vectors, keyed by the exact buffer
+        # bytes (safe: quantization is a pure function of value and
+        # format), and derived per-window operands for the vectorized
+        # mv_mul, keyed by window plus MRF generation.
+        self._input_cache: "collections.OrderedDict[bytes, tuple]" = \
+            collections.OrderedDict()
+        self._derived_windows: "collections.OrderedDict[Tuple[int, int, int], tuple]" = \
+            collections.OrderedDict()
         n = config.native_dim
         self.vrfs: Dict[MemId, VectorRegisterFile] = {
             MemId.InitialVrf: VectorRegisterFile(
@@ -101,6 +132,29 @@ class FunctionalSimulator:
                                   block_size=n)
         else:
             self._bfp = None
+        # The mantissa-GEMV fast path computes each native-block dot
+        # product as a float32 GEMV over integer mantissas (the hardware's
+        # exact integer accumulation tree, Section V-A). It is exact —
+        # hence bit-identical to the float64 reference — whenever every
+        # partial sum fits float32's 24-bit integer range.
+        self._mantissa_gemv = (
+            not self.exact
+            and n * (self._bfp.max_mantissa ** 2) <= (1 << 24))
+        # Narrower still: pack k mantissa rows into disjoint bit slots of
+        # one float64 lane and recover the k exact integer dot products
+        # from a single GEMV — halving weight traffic for the 2-3 bit
+        # production formats (the hardware's narrow-precision bandwidth
+        # multiplier, Section VI). Slot width w holds any block dot
+        # (|dot| <= n*(2^mb-1)^2 <= 2^(w-1)-1) and k slots keep every
+        # partial sum under float64's 53-bit exact-integer range.
+        if not self.exact:
+            block_dot_max = n * (self._bfp.max_mantissa ** 2)
+            self._pack_width = block_dot_max.bit_length() + 1
+            k = 53 // self._pack_width
+            self._pack_slots = k if k >= 3 else 0
+        else:
+            self._pack_width = 0
+            self._pack_slots = 0
 
     # -- host-facing utilities ---------------------------------------------
 
@@ -134,12 +188,11 @@ class FunctionalSimulator:
         padded[:matrix.shape[0], :matrix.shape[1]] = matrix
         if not self.exact:
             padded = quantize(padded, self._bfp)
-        tiles = np.zeros((rows * cols, n, n), dtype=np.float32)
-        for r in range(rows):
-            for c in range(cols):
-                tiles[r * cols + c] = padded[r * n:(r + 1) * n,
-                                             c * n:(c + 1) * n]
-        return tiles
+        # Tile (r, c) lands at slot r*cols + c: one reshape/transpose.
+        return np.ascontiguousarray(
+            padded.reshape(rows, n, cols, n)
+            .transpose(0, 2, 1, 3)
+            .reshape(rows * cols, n, n))
 
     def load_vector(self, mem: MemId, index: int,
                     vector: np.ndarray) -> int:
@@ -199,11 +252,21 @@ class FunctionalSimulator:
 
     def _tick(self, name: str, **attrs) -> None:
         """Retire one instruction: advance the trace clock one tick and
-        record the instruction span and opcode counter."""
-        t = float(self._trace_clock)
-        self._trace_clock += 1
-        self.tracer.span(name, t, t + 1.0, **attrs)
-        self.metrics.counter(f"executor.ops.{name}").inc()
+        record the instruction span and opcode counter.
+
+        With the null tracer and null metrics this is a single integer
+        increment — no span allocation, no counter lookup.
+        """
+        t = self._trace_clock
+        self._trace_clock = t + 1
+        if not self._observing:
+            return
+        self.tracer.span(name, float(t), float(t) + 1.0, **attrs)
+        counter = self._op_counters.get(name)
+        if counter is None:
+            counter = self.metrics.counter(f"executor.ops.{name}")
+            self._op_counters[name] = counter
+        counter.inc()
 
     def _set_scalar(self, event: SetScalar) -> None:
         if event.reg in (ScalarReg.Rows, ScalarReg.Columns) \
@@ -217,6 +280,13 @@ class FunctionalSimulator:
         """Execute one instruction chain against architectural state."""
         self.stats.chains_executed += 1
         self.stats.instructions_executed += len(chain) + 1  # + end_chain
+        if not self._observing:
+            if chain.is_matrix_chain:
+                self._execute_matrix_chain(chain)
+            else:
+                self._execute_vector_chain(chain)
+            self._trace_clock += 1  # end_chain
+            return
         span = self.tracer.begin(
             "chain", float(self._trace_clock), track="executor",
             matrix=chain.is_matrix_chain, instructions=len(chain) + 1)
@@ -234,13 +304,17 @@ class FunctionalSimulator:
         rows = self.scalar_regs[ScalarReg.Rows]
         cols = self.scalar_regs[ScalarReg.Columns]
         count = rows * cols
+        observing = self._observing
         rd, wr = chain.instructions
         if rd.mem_id is MemId.NetQ:
             tiles = self.netq.pop_input_tiles(count)
         else:
             tiles = self.dram.read_tiles(rd.index, count)
-        self._tick(rd.opcode.name.lower(), mem=rd.mem_id.name,
-                   index=rd.index, tiles=count)
+        if observing:
+            self._tick(rd.opcode.name.lower(), mem=rd.mem_id.name,
+                       index=rd.index, tiles=count)
+        else:
+            self._trace_clock += 1
         if wr.mem_id is MemId.MatrixRf:
             if not self.exact:
                 # Weights quantize at MRF initialization, per native row.
@@ -248,47 +322,75 @@ class FunctionalSimulator:
             self.mrf.write_tiles(wr.index, tiles)
         else:
             self.dram.write_tiles(wr.index, tiles)
-        self._tick(wr.opcode.name.lower(), mem=wr.mem_id.name,
-                   index=wr.index, tiles=count)
-        self.metrics.counter("executor.tiles_moved").inc(count)
+        if observing:
+            self._tick(wr.opcode.name.lower(), mem=wr.mem_id.name,
+                       index=wr.index, tiles=count)
+            self.metrics.counter("executor.tiles_moved").inc(count)
+        else:
+            self._trace_clock += 1
 
     # -- vector chains ------------------------------------------------------
 
     def _execute_vector_chain(self, chain: InstructionChain) -> None:
-        chain.assign_function_units(self.config.mfus)  # capacity check
+        if id(chain) not in self._validated_chains:
+            chain.assign_function_units(self.config.mfus)  # capacity check
+            self._validated_chains.add(id(chain))
         rows = self.scalar_regs[ScalarReg.Rows]
         cols = self.scalar_regs[ScalarReg.Columns]
         width_in = cols if chain.has_mv_mul else rows
+        observing = self._observing
 
         head = chain.source
         value = self._read_vectors(head, width_in)
-        self._tick(head.opcode.name.lower(),
-                   mem=head.mem_id.name if head.mem_id else None,
-                   index=head.index, vectors=width_in)
+        # The head read skips the defensive copy, so `value` may alias a
+        # VRF until the first compute op replaces it; a v_wr overlapping
+        # the aliased entries must materialize the copy first.
+        view_range = (head.mem_id, head.index, width_in) \
+            if head.mem_id in self.vrfs else None
+        if observing:
+            self._tick(head.opcode.name.lower(),
+                       mem=head.mem_id.name if head.mem_id else None,
+                       index=head.index, vectors=width_in)
+        else:
+            self._trace_clock += 1
 
         for instr in chain.instructions[1:]:
             if instr.opcode is Opcode.MV_MUL:
                 value = self._mv_mul(instr, value, rows, cols)
+                view_range = None
             elif instr.opcode in ops.BINARY_KERNELS:
                 operand = self._pointwise_operand(instr, rows)
                 kernel = ops.BINARY_KERNELS[instr.opcode]
                 value = kernel(value, operand, exact=self.exact)
+                view_range = None
                 self.stats.pointwise_flops += value.size
-                self.metrics.counter("executor.pointwise_flops") \
-                    .inc(value.size)
+                if observing:
+                    self.metrics.counter("executor.pointwise_flops") \
+                        .inc(value.size)
             elif instr.opcode in ops.UNARY_KERNELS:
                 kernel = ops.UNARY_KERNELS[instr.opcode]
                 value = kernel(value, exact=self.exact)
+                view_range = None
                 self.stats.pointwise_flops += value.size
-                self.metrics.counter("executor.pointwise_flops") \
-                    .inc(value.size)
+                if observing:
+                    self.metrics.counter("executor.pointwise_flops") \
+                        .inc(value.size)
             elif instr.opcode is Opcode.V_WR:
+                if (view_range is not None
+                        and instr.mem_id is view_range[0]
+                        and instr.index < view_range[1] + view_range[2]
+                        and view_range[1] < instr.index + width_in):
+                    value = value.copy()
+                    view_range = None
                 self._write_vectors(instr, value)
             else:  # pragma: no cover - chain validation prevents this
                 raise ExecutionError(f"unexpected opcode {instr.opcode}")
-            self._tick(instr.opcode.name.lower(),
-                       mem=instr.mem_id.name if instr.mem_id else None,
-                       index=instr.index)
+            if observing:
+                self._tick(instr.opcode.name.lower(),
+                           mem=instr.mem_id.name if instr.mem_id else None,
+                           index=instr.index)
+            else:
+                self._trace_clock += 1
 
     def _vrf(self, mem: MemId) -> VectorRegisterFile:
         if mem not in self.vrfs:
@@ -301,7 +403,7 @@ class FunctionalSimulator:
             return self.netq.pop_input(count)
         if mem is MemId.Dram:
             return self.dram.read_vectors(instr.index, count)
-        return self._vrf(mem).read(instr.index, count)
+        return self._vrf(mem).read(instr.index, count, copy=False)
 
     def _write_vectors(self, instr: Instruction, value: np.ndarray) -> None:
         value = np.atleast_2d(value)
@@ -315,8 +417,9 @@ class FunctionalSimulator:
 
     def _pointwise_operand(self, instr: Instruction, rows: int) -> np.ndarray:
         if instr.opcode is Opcode.VV_MUL:
-            return self._vrf(MemId.MultiplyVrf).read(instr.index, rows)
-        return self._vrf(MemId.AddSubVrf).read(instr.index, rows)
+            return self._vrf(MemId.MultiplyVrf).read(instr.index, rows,
+                                                     copy=False)
+        return self._vrf(MemId.AddSubVrf).read(instr.index, rows, copy=False)
 
     def _mv_mul(self, instr: Instruction, value: np.ndarray,
                 rows: int, cols: int) -> np.ndarray:
@@ -332,6 +435,22 @@ class FunctionalSimulator:
                 f"mv_mul tile window [{base}, {base + rows * cols}) "
                 f"exceeds MRF address space "
                 f"{self.config.mrf_address_space}")
+        if self.naive:
+            out = self._mv_mul_naive(base, value, rows, cols)
+        else:
+            out = self._mv_mul_vectorized(base, value, rows, cols)
+        self.stats.mv_mul_count += 1
+        self.stats.macs += rows * cols * n * n
+        if self._observing:
+            self.metrics.counter("executor.macs").inc(rows * cols * n * n)
+        result = out.astype(np.float32)
+        return result if self.exact else to_float16(result)
+
+    def _mv_mul_naive(self, base: int, value: np.ndarray,
+                      rows: int, cols: int) -> np.ndarray:
+        """Reference mega-SIMD MVM: one tile read and one small matmul
+        per (row, column) tile, accumulating columns left to right."""
+        n = self.config.native_dim
         if self.exact:
             inputs = value.astype(np.float64)
         else:
@@ -345,8 +464,207 @@ class FunctionalSimulator:
                 tile = self.mrf.read_tile(base + r * cols + c)
                 acc += tile.astype(np.float64) @ inputs[c]
             out[r] = acc
-        self.stats.mv_mul_count += 1
-        self.stats.macs += rows * cols * n * n
-        self.metrics.counter("executor.macs").inc(rows * cols * n * n)
-        result = out.astype(np.float32)
-        return result if self.exact else to_float16(result)
+        return out
+
+    def _mv_mul_vectorized(self, base: int, value: np.ndarray,
+                           rows: int, cols: int) -> np.ndarray:
+        """Vectorized mega-SIMD MVM over the assembled weight window.
+
+        Bit-identical to :meth:`_mv_mul_naive` by construction:
+
+        * **Quantized path** — weights and inputs are BFP values
+          ``m * 2^e`` with integer mantissas ``|m| <= 2^mb - 1``. Each
+          native-block dot product is an integer dot scaled by a power of
+          two, so every float64 partial sum in the reference loop is
+          *exact*. The fast path computes the integer dots with one
+          float32 GEMV per column block (exact while
+          ``n * (2^mb - 1)^2 <= 2^24`` — the hardware's integer
+          accumulation tree, Section V-A), rescales in float64 (exact
+          products), and accumulates column blocks in the same order as
+          the reference loop: every partial sum matches bit for bit.
+        * **Exact/wide path** — per-tile float64 matvecs batched as one
+          stacked GEMV per column block, accumulated in the reference
+          column order; the per-element dot and add sequence is the same
+          as the naive loop's.
+        """
+        n = self.config.native_dim
+        if self._pack_slots:
+            x_mant, x_scales = self._quantized_input(value)
+            w_packed, w_scales = self._window_operands(base, rows, cols)
+            # One batched GEMV per column block yields the k-packed exact
+            # integer block dots; unpack all blocks at once, then
+            # accumulate the per-block terms in the reference order
+            # c = 0, 1, ...
+            packed = np.matmul(w_packed, x_mant[:, :, np.newaxis])[:, :, 0]
+            dots = self._unpack(packed, rows * n)
+            terms = dots * (w_scales * x_scales)
+            if cols == 1:
+                return terms.reshape(rows, n)
+            acc = terms[0] + terms[1]
+            for c in range(2, cols):
+                acc += terms[c]
+            return acc.reshape(rows, n)
+        if self._mantissa_gemv:
+            x_mant, x_scales = self._quantized_input(value)
+            w_mant, w_scales = self._window_operands(base, rows, cols)
+            # acc accumulates the exact per-column-block terms in the
+            # reference order c = 0, 1, ...
+            acc = ((w_mant[0] @ x_mant[0]).astype(np.float64)
+                   * (w_scales[0] * x_scales[0]))
+            for c in range(1, cols):
+                acc += ((w_mant[c] @ x_mant[c]).astype(np.float64)
+                        * (w_scales[c] * x_scales[c]))
+            return acc.reshape(rows, n)
+        if self.exact:
+            inputs = value.astype(np.float64)
+        else:
+            inputs = self._quantized_input_f64(value)
+        blocks = self._window_blocks_f64(base, rows, cols)
+        acc = blocks[0] @ inputs[0]
+        for c in range(1, cols):
+            acc += blocks[c] @ inputs[c]
+        return acc.reshape(rows, n)
+
+    # -- mv_mul operand caches ----------------------------------------------
+
+    def _quantized_input(self, value: np.ndarray) -> tuple:
+        """BFP-decomposed input vectors: float32 mantissas (cols, N) and
+        float64 per-block scales (cols, 1), memoized on buffer content.
+
+        Safe because quantization is a pure function of the bytes and the
+        (fixed) format; weights need no such cache — they quantize once
+        at MRF write time.
+        """
+        entry = self._input_lookup(value)
+        if entry[0] is None:
+            value = entry[2]
+            mant, exps = decompose(value, self._bfp)
+            if self._pack_slots:
+                mant = mant.astype(np.float64)  # packed path runs f64 GEMVs
+            scales = np.exp2(
+                (exps - self._bfp.mantissa_bits + 1).astype(np.float64)
+            ).reshape(value.shape[0], 1)
+            entry[0] = (mant, scales)
+        return entry[0]
+
+    def _quantized_input_f64(self, value: np.ndarray) -> np.ndarray:
+        """Quantized input vectors as float64 (wide-mantissa fallback)."""
+        entry = self._input_lookup(value)
+        if entry[1] is None:
+            entry[1] = quantize(entry[2], self._bfp).astype(np.float64)
+        return entry[1]
+
+    def _input_lookup(self, value: np.ndarray) -> list:
+        """LRU entry ``[mantissa_decomposition, f64_values, value_copy]``
+        for the exact bytes of ``value``."""
+        key = value.tobytes()
+        entry = self._input_cache.get(key)
+        if entry is None:
+            entry = [None, None, np.array(value, dtype=np.float32)]
+            self._input_cache[key] = entry
+            while len(self._input_cache) > _INPUT_CACHE_SLOTS:
+                self._input_cache.popitem(last=False)
+        else:
+            self._input_cache.move_to_end(key)
+        return entry
+
+    def _window_operands(self, base: int, rows: int, cols: int) -> tuple:
+        """Mantissa-GEMV operands for a weight window.
+
+        Plain mode: float32 mantissa blocks (cols, rows*N, N) and float64
+        scales (cols, rows*N). Packed mode (``_pack_slots`` = k > 0): k
+        mantissa rows share one float64 lane, (cols, ceil(rows*N/k), N),
+        with the same scales array.
+
+        Derived from the assembled MRF window (weights are already
+        BFP-quantized there, so the decomposition is exact and
+        idempotent) and cached against the MRF generation.
+        """
+        entry = self._window_lookup(base, rows, cols)
+        if entry[1] is None:
+            n = self.config.native_dim
+            window = entry[0]
+            # Column-block layout: blocks[c] stacks tile column c of every
+            # window row, (rows*N, N); each row of a block is one native
+            # BFP block sharing one exponent.
+            blocks = np.ascontiguousarray(
+                window.reshape(rows * n, cols, n).transpose(1, 0, 2))
+            mant, exps = decompose(blocks.reshape(-1, n), self._bfp)
+            scales = np.exp2(
+                (exps - self._bfp.mantissa_bits + 1).astype(np.float64)
+            ).reshape(cols, rows * n)
+            mant = mant.reshape(cols, rows * n, n)
+            if self._pack_slots:
+                mant = self._pack_rows(mant, cols, rows * n, n)
+            entry[1] = (mant, scales)
+        return entry[1]
+
+    def _pack_rows(self, mant: np.ndarray, cols: int, total_rows: int,
+                   n: int) -> np.ndarray:
+        """Pack k consecutive mantissa rows into one float64 lane each.
+
+        Row ``g*k + t`` lands in bit slot ``w*(k-1-t)`` of packed row
+        ``g``. Slot values stay integers below ``2^(w-1)`` through the
+        GEMV, so the packed dot product is the exact sum of k disjoint
+        slot dots; :meth:`_unpack` recovers them.
+        """
+        k, w = self._pack_slots, self._pack_width
+        groups = -(-total_rows // k)
+        padded = np.zeros((cols, groups * k, n), dtype=np.float64)
+        padded[:, :total_rows] = mant
+        slot_scale = np.exp2(
+            w * (k - 1 - np.arange(k, dtype=np.float64)))
+        packed = (padded.reshape(cols, groups, k, n)
+                  * slot_scale[np.newaxis, np.newaxis, :, np.newaxis]
+                  ).sum(axis=2)
+        return np.ascontiguousarray(packed)
+
+    def _unpack(self, packed_dots: np.ndarray, count: int) -> np.ndarray:
+        """Recover the k exact integer block dots from packed dots.
+
+        ``packed_dots`` is (cols, G); returns (cols, count). Rounding
+        ``p / 2^(w*(k-1-t))`` isolates the slot-t *prefix* exactly — the
+        slots below it sum to strictly less than half a unit (each |dot|
+        <= 2^(w-1) - 1) — and adjacent prefixes difference to the slot
+        values. Every product and difference stays in float64's exact
+        integer range by the packing bound.
+        """
+        k, w = self._pack_slots, self._pack_width
+        inv = np.exp2(-w * (k - 1 - np.arange(k, dtype=np.float64)))
+        prefixes = np.rint(packed_dots[:, np.newaxis, :] *
+                           inv[np.newaxis, :, np.newaxis])
+        dots = prefixes
+        dots[:, 1:] -= prefixes[:, :-1] * float(np.exp2(w))
+        cols, _, groups = dots.shape
+        return dots.transpose(0, 2, 1).reshape(cols, groups * k)[:, :count]
+
+    def _window_blocks_f64(self, base: int, rows: int,
+                           cols: int) -> np.ndarray:
+        """Float64 column-block stack (cols, rows*N, N) of a window."""
+        entry = self._window_lookup(base, rows, cols)
+        if entry[2] is None:
+            n = self.config.native_dim
+            entry[2] = np.ascontiguousarray(
+                entry[0].reshape(rows * n, cols, n)
+                .transpose(1, 0, 2).astype(np.float64))
+        return entry[2]
+
+    def _window_lookup(self, base: int, rows: int, cols: int) -> list:
+        """LRU entry ``[window, mantissa_operands, f64_blocks]`` for a
+        window, invalidated by the MRF generation counter."""
+        key = (base, rows, cols)
+        mrf = self.mrf
+        entry = self._derived_windows.get(key)
+        if entry is not None and entry[3] == mrf.generation:
+            # read_window's tile-read accounting must match the naive
+            # path even on derived-cache hits.
+            mrf.reads += rows * cols
+            self._derived_windows.move_to_end(key)
+            return entry
+        window = mrf.read_window(base, rows, cols)
+        entry = [window, None, None, mrf.generation]
+        self._derived_windows[key] = entry
+        self._derived_windows.move_to_end(key)
+        while len(self._derived_windows) > _DERIVED_WINDOW_SLOTS:
+            self._derived_windows.popitem(last=False)
+        return entry

@@ -1,0 +1,226 @@
+"""Micro-benchmark harness for the vectorized execution layer.
+
+Times the three simulator hot paths on the Table IV configurations —
+functional LSTM/GRU execution (vectorized vs. the ``naive=True``
+reference per-tile path), timing-simulator scheduling, and BFP
+quantization — and assembles the ``BENCH_perf.json`` trajectory record:
+wall-clock per step/call, op rates, and the vectorized-over-naive
+speedup. ``scripts/bench.py`` is the command-line driver.
+
+Vectorized and naive functional runs are bit-identical by construction
+(see docs/PERFORMANCE.md); every functional benchmark re-checks output
+equality on its first repetition so a speedup number can never come from
+a divergent fast path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..compiler.lowering import CompiledModel, compile_gru, compile_lstm
+from ..config import BW_CNN_A10, BW_S5, BW_S10, NpuConfig
+from ..models.gru import GruReference
+from ..models.lstm import LstmReference
+from ..numerics.bfp import BfpFormat, quantize
+from ..timing import TimingSimulator
+
+#: The headline workload class for the speedup acceptance gate: the
+#: DeepBench h=1024 LSTM on the production part (Table IV/V).
+HEADLINE = ("lstm", 1024, "BW_S10")
+
+
+@dataclasses.dataclass
+class BenchResult:
+    """One timed workload."""
+
+    name: str
+    config: str
+    #: Wall-clock per unit of work (timestep for RNNs, call otherwise).
+    unit_ms: float
+    #: Work units measured per repetition.
+    units: int
+    repeats: int
+    #: Model-level useful operations per unit (0 when not applicable).
+    ops_per_unit: float = 0.0
+    #: Naive-path wall-clock per unit (functional benchmarks only).
+    naive_unit_ms: Optional[float] = None
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if self.naive_unit_ms is None or self.unit_ms <= 0:
+            return None
+        return self.naive_unit_ms / self.unit_ms
+
+    @property
+    def gops(self) -> Optional[float]:
+        """Useful model operations per second, in 1e9 ops/s."""
+        if not self.ops_per_unit or self.unit_ms <= 0:
+            return None
+        return self.ops_per_unit / (self.unit_ms * 1e-3) / 1e9
+
+    def to_json(self) -> Dict:
+        out = dataclasses.asdict(self)
+        out["speedup"] = self.speedup
+        out["gops"] = self.gops
+        return out
+
+
+def _best_time(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-N wall-clock seconds (insensitive to scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _compile_rnn(kind: str, hidden: int, config: NpuConfig) -> CompiledModel:
+    if kind == "lstm":
+        return compile_lstm(LstmReference(hidden_dim=hidden, seed=7), config)
+    return compile_gru(GruReference(hidden_dim=hidden, seed=7), config)
+
+
+def bench_functional_rnn(kind: str, hidden: int, config: NpuConfig,
+                         steps: int = 8, repeats: int = 3) -> BenchResult:
+    """Time steady-state functional execution, vectorized vs. naive.
+
+    Each path keeps one long-lived simulator (weights pin once — the
+    amortization the hardware gets from its pinned MRF), runs one
+    untimed warm-up sequence, then takes the best of ``repeats``
+    interleaved timed sequences so host noise hits both paths alike.
+    The warm-up also asserts the two paths are bit-identical, so a
+    speedup can never come from a divergent fast path.
+    """
+    model = _compile_rnn(kind, hidden, config)
+    rng = np.random.default_rng(11)
+    xs = [rng.standard_normal(model.input_length).astype(np.float32)
+          for _ in range(steps)]
+
+    sims = {False: model.new_simulator(naive=False),
+            True: model.new_simulator(naive=True)}
+    warm = {naive: (model.run_sequence(xs, sim=sim), sim.stats)
+            for naive, sim in sims.items()}
+    fast_outs, fast_stats = warm[False]
+    ref_outs, ref_stats = warm[True]
+    if fast_stats != ref_stats or any(
+            not np.array_equal(a, b) for a, b in zip(fast_outs, ref_outs)):
+        raise AssertionError(
+            f"{kind} h={hidden} on {config.name}: vectorized path "
+            f"diverged from naive reference")
+
+    best = {False: float("inf"), True: float("inf")}
+    for _ in range(repeats):
+        for naive in (False, True):
+            t0 = time.perf_counter()
+            model.run_sequence(xs, sim=sims[naive])
+            best[naive] = min(best[naive], time.perf_counter() - t0)
+
+    ops = model.ops_per_step
+    return BenchResult(
+        name=f"functional_{kind}_h{hidden}", config=config.name,
+        unit_ms=best[False] / steps * 1e3, units=steps, repeats=repeats,
+        ops_per_unit=float(ops),
+        naive_unit_ms=best[True] / steps * 1e3)
+
+
+def bench_timing_sim(kind: str, hidden: int, config: NpuConfig,
+                     steps: int = 64, repeats: int = 3) -> BenchResult:
+    """Time the cycle-level scheduler over an RNN program."""
+    model = _compile_rnn(kind, hidden, config)
+    sim = TimingSimulator(config)
+
+    def run():
+        return sim.run(model.program, bindings={model.steps_binding: steps})
+
+    total = _best_time(run, repeats)
+    return BenchResult(
+        name=f"timing_{kind}_h{hidden}", config=config.name,
+        unit_ms=total / steps * 1e3, units=steps, repeats=repeats)
+
+
+def bench_quantize(config: NpuConfig, vectors: int = 4096,
+                   repeats: int = 5) -> BenchResult:
+    """Time BFP quantization throughput at the config's format."""
+    fmt = BfpFormat(mantissa_bits=max(config.mantissa_bits, 1),
+                    exponent_bits=config.exponent_bits,
+                    block_size=config.native_dim)
+    rng = np.random.default_rng(3)
+    data = rng.standard_normal(
+        (vectors, config.native_dim)).astype(np.float32)
+    total = _best_time(lambda: quantize(data, fmt), repeats)
+    return BenchResult(
+        name="bfp_quantize", config=config.name,
+        unit_ms=total / vectors * 1e3, units=vectors, repeats=repeats,
+        ops_per_unit=float(config.native_dim))
+
+
+def run_suite(quick: bool = False) -> Dict:
+    """Run the full perf suite; returns the ``BENCH_perf.json`` payload.
+
+    ``quick`` shrinks the workloads for CI smoke runs (same coverage,
+    smaller hidden dims / fewer repeats).
+    """
+    if quick:
+        functional = [("lstm", 256, BW_S5), ("gru", 256, BW_S5),
+                      ("lstm", 1024, BW_S10), ("lstm", 512, BW_CNN_A10)]
+        steps, repeats = 4, 2
+        timing = [("lstm", 1024, BW_S10)]
+        timing_steps = 16
+    else:
+        functional = [("lstm", 512, BW_S5), ("gru", 512, BW_S5),
+                      ("lstm", 1024, BW_S10), ("gru", 1152, BW_S10),
+                      ("lstm", 1024, BW_CNN_A10)]
+        steps, repeats = 8, 3
+        timing = [("lstm", 1024, BW_S10), ("gru", 2816, BW_S10)]
+        timing_steps = 64
+    results = [bench_functional_rnn(kind, hidden, cfg,
+                                    steps=steps, repeats=repeats)
+               for kind, hidden, cfg in functional]
+    results += [bench_timing_sim(kind, hidden, cfg,
+                                 steps=timing_steps, repeats=repeats)
+                for kind, hidden, cfg in timing]
+    results += [bench_quantize(cfg, vectors=1024 if quick else 4096)
+                for cfg in (BW_S10, BW_CNN_A10)]
+    return {
+        "benchmark": "perf",
+        "quick": quick,
+        "headline": {"kind": HEADLINE[0], "hidden": HEADLINE[1],
+                     "config": HEADLINE[2],
+                     "speedup": headline_speedup(results)},
+        "results": [r.to_json() for r in results],
+    }
+
+
+def headline_speedup(results: List[BenchResult]) -> Optional[float]:
+    """Vectorized-over-naive speedup on the headline LSTM workload."""
+    kind, hidden, cfg = HEADLINE
+    for r in results:
+        if r.name == f"functional_{kind}_h{hidden}" and r.config == cfg:
+            return r.speedup
+    return None
+
+
+def render_table(results: List[BenchResult]) -> str:
+    """Fixed-width comparison table of a result list."""
+    header = (f"{'workload':<28} {'config':<12} {'ms/unit':>10} "
+              f"{'naive':>10} {'speedup':>8} {'Gops/s':>8}")
+    lines = [header, "-" * len(header)]
+    for r in results:
+        naive = f"{r.naive_unit_ms:.3f}" if r.naive_unit_ms else "-"
+        speed = f"{r.speedup:.2f}x" if r.speedup else "-"
+        gops = f"{r.gops:.2f}" if r.gops else "-"
+        lines.append(f"{r.name:<28} {r.config:<12} {r.unit_ms:>10.3f} "
+                     f"{naive:>10} {speed:>8} {gops:>8}")
+    return "\n".join(lines)
+
+
+def results_from_json(payload: Dict) -> List[BenchResult]:
+    """Rehydrate :class:`BenchResult` rows from a JSON payload."""
+    fields = {f.name for f in dataclasses.fields(BenchResult)}
+    return [BenchResult(**{k: v for k, v in row.items() if k in fields})
+            for row in payload["results"]]

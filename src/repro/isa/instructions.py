@@ -12,6 +12,7 @@ are rejected as early as possible.
 from __future__ import annotations
 
 import dataclasses
+import functools
 from typing import Optional, Union
 
 from ..errors import IsaError
@@ -49,14 +50,18 @@ class Instruction:
     def info(self) -> OpcodeInfo:
         return info(self.opcode)
 
-    @property
+    # Instructions are immutable, so the decoded operand views are
+    # memoized (cached_property stores into __dict__, which frozen
+    # dataclasses permit) — they sit on the executor's per-instruction
+    # hot path.
+    @functools.cached_property
     def mem_id(self) -> Optional[MemId]:
         """The memory structure named by this instruction, if any."""
         if self.info.operand1 is OperandKind.MEM_ID:
             return MemId(self.operand1)
         return None
 
-    @property
+    @functools.cached_property
     def index(self) -> Optional[int]:
         """The memory index operand, if any."""
         kind1, kind2 = self.info.operand1, self.info.operand2

@@ -10,10 +10,16 @@ structure is exposed for the timing model and tests.
 
 from __future__ import annotations
 
+import collections
+from typing import Dict, Tuple
 
 import numpy as np
 
 from ..errors import MemoryError_
+
+#: Assembled windows kept per MRF (enough for every weight matrix of the
+#: largest lowered model; evicted least-recently-used beyond this).
+_WINDOW_CACHE_SLOTS = 64
 
 
 class VectorRegisterFile:
@@ -37,11 +43,19 @@ class VectorRegisterFile:
                 f"{self.name}: access [{index}, {index + count}) out of "
                 f"range (depth {self.depth})")
 
-    def read(self, index: int, count: int = 1) -> np.ndarray:
-        """Read ``count`` consecutive vectors; returns shape (count, N)."""
+    def read(self, index: int, count: int = 1,
+             copy: bool = True) -> np.ndarray:
+        """Read ``count`` consecutive vectors; returns shape (count, N).
+
+        ``copy=False`` returns a read-only-by-convention view into the
+        register file — the fast path for internal callers that consume
+        the data immediately (the executor's operand reads). The public
+        API keeps the defensive copy.
+        """
         self._check(index, count)
         self.reads += count
-        return self._data[index:index + count].copy()
+        data = self._data[index:index + count]
+        return data.copy() if copy else data
 
     def write(self, index: int, vectors: np.ndarray) -> None:
         """Write one or more consecutive vectors starting at ``index``."""
@@ -70,6 +84,11 @@ class MatrixRegisterFile:
     sub-banked by rows; :meth:`bank_of` and :meth:`subbank_of` expose that
     geometry for the timing model and for tests of the port-scaling
     property (one SRAM read port per multiplier).
+
+    :meth:`read_window` assembles the tiles of a mega-SIMD window into one
+    block matrix with pure reshape/transpose (no Python tile loop) and
+    caches the result; :attr:`generation` increments on every write, so a
+    cached window is valid exactly while its generation matches.
     """
 
     def __init__(self, name: str, capacity: int, native_dim: int,
@@ -85,6 +104,10 @@ class MatrixRegisterFile:
                                dtype=np.float32)
         self.reads = 0
         self.writes = 0
+        #: Bumped on every tile write; invalidates cached windows.
+        self.generation = 0
+        self._windows: "collections.OrderedDict[Tuple[int, int, int], Tuple[int, np.ndarray]]" = \
+            collections.OrderedDict()
 
     def _check(self, index: int, count: int = 1) -> None:
         if count <= 0:
@@ -99,10 +122,44 @@ class MatrixRegisterFile:
         self.reads += 1
         return self._tiles[index].copy()
 
-    def read_tiles(self, index: int, count: int) -> np.ndarray:
+    def read_tiles(self, index: int, count: int,
+                   copy: bool = True) -> np.ndarray:
         self._check(index, count)
         self.reads += count
-        return self._tiles[index:index + count].copy()
+        data = self._tiles[index:index + count]
+        return data.copy() if copy else data
+
+    def read_window(self, base: int, rows: int, cols: int) -> np.ndarray:
+        """Assembled mega-SIMD weight window: a (rows*N, cols*N) matrix.
+
+        Tile ``(r, c)`` of the window is MRF slot ``base + r*cols + c``
+        (``mv_mul``'s row-major layout). The block matrix is built once
+        with a reshape/transpose and cached; any tile write invalidates
+        via :attr:`generation`. Every call still counts ``rows*cols``
+        tile reads — the hardware reads the SRAM each issue, and the
+        naive per-tile path must see identical statistics.
+
+        The returned array is shared with the cache: callers must not
+        mutate it.
+        """
+        count = rows * cols
+        self._check(base, count)
+        self.reads += count
+        key = (base, rows, cols)
+        cached = self._windows.get(key)
+        if cached is not None and cached[0] == self.generation:
+            self._windows.move_to_end(key)
+            return cached[1]
+        n = self.native_dim
+        window = (self._tiles[base:base + count]
+                  .reshape(rows, cols, n, n)
+                  .transpose(0, 2, 1, 3)
+                  .reshape(rows * n, cols * n))
+        self._windows[key] = (self.generation, window)
+        self._windows.move_to_end(key)
+        while len(self._windows) > _WINDOW_CACHE_SLOTS:
+            self._windows.popitem(last=False)
+        return window
 
     def write_tile(self, index: int, tile: np.ndarray) -> None:
         tile = np.asarray(tile, dtype=np.float32)
@@ -112,6 +169,7 @@ class MatrixRegisterFile:
                 f"({self.native_dim}, {self.native_dim})")
         self._check(index)
         self.writes += 1
+        self.generation += 1
         self._tiles[index] = tile
 
     def write_tiles(self, index: int, tiles: np.ndarray) -> None:
@@ -122,6 +180,7 @@ class MatrixRegisterFile:
                                f"{tiles.shape}")
         self._check(index, tiles.shape[0])
         self.writes += tiles.shape[0]
+        self.generation += 1
         self._tiles[index:index + tiles.shape[0]] = tiles
 
     def bank_of(self, index: int) -> int:
@@ -142,6 +201,8 @@ class MatrixRegisterFile:
         return self.tile_engines * self.native_dim * lanes
 
     def clear(self) -> None:
+        self.generation += 1
+        self._windows.clear()
         self._tiles.fill(0.0)
 
     @property

@@ -75,13 +75,32 @@ class BfpFormat:
 
 
 def _block_view(x: np.ndarray, block_size: int) -> np.ndarray:
-    """Reshape the trailing axis into blocks; the length must divide."""
-    x = np.asarray(x, dtype=np.float64)
+    """Reshape the trailing axis into blocks; the length must divide.
+
+    Preserves float32 inputs (the simulator's word type); everything else
+    is promoted to float64.
+    """
+    x = np.asarray(x)
+    if x.dtype != np.float32:
+        x = x.astype(np.float64)
     if x.shape[-1] % block_size != 0:
         raise ValueError(
             f"last axis ({x.shape[-1]}) must be a multiple of the block "
             f"size ({block_size}); pad to the native dimension first")
     return x.reshape(x.shape[:-1] + (x.shape[-1] // block_size, block_size))
+
+
+def _exponents_of(blocks: np.ndarray, fmt: BfpFormat) -> np.ndarray:
+    """Clamped shared exponents for pre-blocked data (one per block).
+
+    ``floor(log2(max |block|))`` computed exactly via ``frexp`` — for any
+    finite float ``a = m * 2^e`` with ``0.5 <= |m| < 1``, the floor of its
+    base-2 log is ``e - 1`` — avoiding a transcendental log per block.
+    """
+    amax = np.max(np.abs(blocks), axis=-1)
+    exponents = np.frexp(amax)[1] - 1
+    exponents = np.where(amax > 0, exponents, fmt.min_exponent)
+    return np.clip(exponents, fmt.min_exponent, fmt.max_exponent).astype(int)
 
 
 def block_exponents(x: np.ndarray, fmt: BfpFormat) -> np.ndarray:
@@ -90,13 +109,7 @@ def block_exponents(x: np.ndarray, fmt: BfpFormat) -> np.ndarray:
     The exponent is ``floor(log2(max |x|))`` clamped to the format's
     exponent range; all-zero blocks use the minimum exponent.
     """
-    blocks = _block_view(x, fmt.block_size)
-    amax = np.max(np.abs(blocks), axis=-1)
-    with np.errstate(divide="ignore"):
-        exponents = np.floor(np.log2(amax, where=amax > 0,
-                                     out=np.full_like(amax, -np.inf)))
-    exponents = np.where(amax > 0, exponents, fmt.min_exponent)
-    return np.clip(exponents, fmt.min_exponent, fmt.max_exponent).astype(int)
+    return _exponents_of(_block_view(x, fmt.block_size), fmt)
 
 
 def quantize_with_info(
@@ -105,23 +118,54 @@ def quantize_with_info(
 
     ``values`` are the dequantized float32 numbers (exactly representable),
     ``mantissas`` the signed integer mantissas, and ``exponents`` the
-    per-block shared exponents.
+    per-block shared exponents. Blocking, exponent selection, and rounding
+    happen in one pass over the block view, in the input's working
+    precision: float32 arrays quantize without a float64 round-trip (all
+    the intermediate steps — power-of-two scaling, rint, clip — are exact
+    in either precision, so the results are bit-identical).
     """
     original_shape = np.asarray(x).shape
     blocks = _block_view(x, fmt.block_size)
-    exponents = block_exponents(x, fmt)
+    exponents = _exponents_of(blocks, fmt)
     # Element scale: value = mantissa * 2^(E - mantissa_bits + 1).
-    scale = np.exp2(exponents - fmt.mantissa_bits + 1)[..., np.newaxis]
+    scale = np.exp2((exponents - fmt.mantissa_bits + 1).astype(blocks.dtype)
+                    )[..., np.newaxis]
     mantissas = np.rint(blocks / scale)
-    mantissas = np.clip(mantissas, -fmt.max_mantissa, fmt.max_mantissa)
+    np.clip(mantissas, -fmt.max_mantissa, fmt.max_mantissa, out=mantissas)
     values = (mantissas * scale).reshape(original_shape).astype(np.float32)
     return values, mantissas.astype(np.int64).reshape(original_shape), exponents
 
 
+def decompose(x: np.ndarray, fmt: BfpFormat) -> Tuple[np.ndarray, np.ndarray]:
+    """BFP decomposition without materializing the dequantized values.
+
+    Returns ``(mantissas, exponents)`` where ``mantissas`` keeps the
+    block view's working dtype (float32 for float32 input — exactly
+    integer-valued, ready for the executor's mantissa-GEMV path) and
+    ``exponents`` are the per-block shared exponents. The mantissa and
+    exponent arithmetic is identical to :func:`quantize_with_info`; only
+    the value reconstruction and int64 conversion are skipped.
+    """
+    original_shape = np.asarray(x).shape
+    blocks = _block_view(x, fmt.block_size)
+    exponents = _exponents_of(blocks, fmt)
+    scale = np.exp2((exponents - fmt.mantissa_bits + 1).astype(blocks.dtype)
+                    )[..., np.newaxis]
+    mantissas = np.rint(blocks / scale)
+    np.clip(mantissas, -fmt.max_mantissa, fmt.max_mantissa, out=mantissas)
+    return mantissas.reshape(original_shape), exponents
+
+
 def quantize(x: np.ndarray, fmt: BfpFormat) -> np.ndarray:
     """Quantize ``x`` to BFP and return the dequantized float32 array."""
-    values, _, _ = quantize_with_info(x, fmt)
-    return values
+    original_shape = np.asarray(x).shape
+    blocks = _block_view(x, fmt.block_size)
+    exponents = _exponents_of(blocks, fmt)
+    scale = np.exp2((exponents - fmt.mantissa_bits + 1).astype(blocks.dtype)
+                    )[..., np.newaxis]
+    mantissas = np.rint(blocks / scale)
+    np.clip(mantissas, -fmt.max_mantissa, fmt.max_mantissa, out=mantissas)
+    return (mantissas * scale).reshape(original_shape).astype(np.float32)
 
 
 def quantization_step(fmt: BfpFormat, exponent: int) -> float:

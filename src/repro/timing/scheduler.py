@@ -37,7 +37,9 @@ spacing, matching the in-order vector arbitration network.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
+
+import numpy as np
 
 from ..config import NpuConfig
 from ..errors import ExecutionError
@@ -48,6 +50,52 @@ from ..isa.program import NpuProgram, SetScalar
 from ..obs import Metrics, Tracer, or_null, or_null_metrics
 from .latency import LatencyConstants, LatencyModel
 from .report import ChainRecord, TimingReport
+
+
+class ReadyTracker:
+    """Entry-granular readiness times, vectorized per memory space.
+
+    Replaces the per-element ``(MemId, index) -> time`` dict the
+    scheduler previously probed once per register-file entry per chain
+    (O(rows·cols) dict hashes even when no producer had ever written the
+    range). Each memory keeps one contiguous float64 array of forwarded-
+    readiness times, where 0.0 means "never produced this run" — every
+    recorded time is positive (a chain cannot start before its setup
+    cycles), and ``max(start, 0.0) == start``, so the encoding is exact.
+
+    :meth:`range_max` is the hot read: a single empty-check plus one
+    vectorized slice max over the contiguous entry run.
+    """
+
+    def __init__(self) -> None:
+        self._times: Dict[MemId, np.ndarray] = {}
+
+    def range_max(self, mem: MemId, index: int, count: int) -> float:
+        """Latest readiness time over entries [index, index+count)."""
+        times = self._times.get(mem)
+        if times is None:
+            return 0.0
+        lo = max(index, 0)
+        hi = min(index + count, times.shape[0])
+        if lo >= hi:
+            return 0.0
+        return float(times[lo:hi].max())
+
+    def mark(self, mem: MemId, index: int, count: int,
+             time: float) -> None:
+        """Record entries [index, index+count) as ready at ``time``."""
+        times = self._times.get(mem)
+        end = index + count
+        if times is None:
+            times = np.zeros(max(end, 64), dtype=np.float64)
+            self._times[mem] = times
+        elif end > times.shape[0]:
+            grown = np.zeros(max(end, 2 * times.shape[0]),
+                             dtype=np.float64)
+            grown[:times.shape[0]] = times
+            times = grown
+            self._times[mem] = times
+        times[index:end] = time
 
 
 @dataclasses.dataclass
@@ -64,8 +112,7 @@ class _MachineState:
     mvm_busy: float = 0.0
     chains: int = 0
     instructions: int = 0
-    ready: Dict[Tuple[MemId, int], float] = dataclasses.field(
-        default_factory=dict)
+    ready: ReadyTracker = dataclasses.field(default_factory=ReadyTracker)
     seen_chains: set = dataclasses.field(default_factory=set)
 
 
@@ -188,18 +235,13 @@ class TimingSimulator:
         # producer's first output must already be in the register file.
         head = chain.source
         if head.mem_id is not None and head.index is not None:
-            for e in range(width_in):
-                key = (head.mem_id, head.index + e)
-                if key in state.ready:
-                    start = max(start, state.ready[key])
+            start = max(start, state.ready.range_max(
+                head.mem_id, head.index, width_in))
 
         # MRF tiles must have landed (weight streaming from DRAM).
         if chain.has_mv_mul:
-            base = chain.mv_mul_index
-            for tile in range(rows * cols):
-                key = (MemId.MatrixRf, base + tile)
-                if key in state.ready:
-                    start = max(start, state.ready[key])
+            start = max(start, state.ready.range_max(
+                MemId.MatrixRf, chain.mv_mul_index, rows * cols))
 
         # Point-wise operands are read deeper in the consumer's pipeline;
         # the same forwarded-readiness times gate them.
@@ -208,10 +250,7 @@ class TimingSimulator:
                 continue  # unary activation: no register-file operand
             mem = (MemId.MultiplyVrf if instr.opcode is Opcode.VV_MUL
                    else MemId.AddSubVrf)
-            for e in range(rows):
-                key = (mem, instr.index + e)
-                if key in state.ready:
-                    start = max(start, state.ready[key])
+            start = max(start, state.ready.range_max(mem, instr.index, rows))
 
         completion = start + lat.completion
         # Consumers may trail this chain by the forwarding delay (see
@@ -221,8 +260,7 @@ class TimingSimulator:
         for write in chain.writes:
             if write.mem_id is None or write.index is None:
                 continue
-            for e in range(rows):
-                state.ready[(write.mem_id, write.index + e)] = forwarded
+            state.ready.mark(write.mem_id, write.index, rows, forwarded)
 
         if chain.has_mv_mul:
             state.mvm_free = start + lat.issue
@@ -279,16 +317,13 @@ class TimingSimulator:
         rd, wr = chain.instructions
         if rd.mem_id is MemId.Dram and rd.index is not None:
             # Source tiles written earlier (e.g. spilled) gate the read.
-            for t in range(tiles):
-                key = (MemId.Dram, rd.index + t)
-                if key in state.ready:
-                    start = max(start, state.ready[key])
+            start = max(start, state.ready.range_max(
+                MemId.Dram, rd.index, tiles))
         completion = start + cycles
         if wr.index is not None:
             target = MemId.MatrixRf if wr.mem_id is MemId.MatrixRf \
                 else MemId.Dram
-            for t in range(tiles):
-                state.ready[(target, wr.index + t)] = completion
+            state.ready.mark(target, wr.index, tiles, completion)
         state.transfer_free = completion
         self.tracer.span("transfer", start, completion, track="transfer",
                          index=state.chains, tiles=tiles,
