@@ -13,6 +13,8 @@ Commands:
   microservice serving under injected faults;
 * ``trace <workload>`` — run a workload with :mod:`repro.obs` tracing
   and write a Chrome/Perfetto ``trace.json`` plus a metrics summary;
+* ``fuzz`` — differential conformance fuzzing of the ISA executors
+  against the reference interpreter (see docs/TESTING.md);
 * ``specialize <kind> <hidden> <device>`` — best synthesis-specialized
   instance for a model on a device.
 """
@@ -202,6 +204,29 @@ def _cmd_trace(args) -> int:
     return _trace_rnn(args)
 
 
+def _cmd_fuzz(args) -> int:
+    from .verify import (FUZZ_CONFIGS, PROFILES, replay_corpus, run_fuzz)
+    if args.replay is not None:
+        report = replay_corpus(args.replay,
+                               check_timing=not args.no_timing)
+        print(report.render())
+        return 0 if report.ok else 1
+    config = FUZZ_CONFIGS[args.config] if args.config else None
+    progress = None
+    if args.progress:
+        def progress(done, total):
+            if done % 50 == 0 or done == total:
+                print(f"  {done}/{total} cases", file=sys.stderr)
+    report = run_fuzz(seed=args.seed, iterations=args.iterations,
+                      profile=PROFILES[args.profile], config=config,
+                      corpus_dir=args.corpus_dir,
+                      shrink=not args.no_shrink,
+                      check_timing=not args.no_timing,
+                      progress=progress)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_specialize(args) -> int:
     from .synthesis import best_config, device_by_name, rnn_requirements
     try:
@@ -287,6 +312,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replicas", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential conformance fuzzing: random ISA programs on "
+             "the reference interpreter vs both simulator paths")
+    p.add_argument("--seed", type=int, default=0,
+                   help="first case seed (campaign runs seed..seed+n-1)")
+    p.add_argument("--iterations", type=int, default=100,
+                   help="number of cases to generate and compare")
+    p.add_argument("--profile", default="default",
+                   choices=["default", "mvm", "pointwise", "memory"],
+                   help="opcode-weight profile")
+    p.add_argument("--config", default=None,
+                   choices=["fuzz8_m2", "fuzz8_m5", "fuzz8_exact",
+                            "fuzz16_m2"],
+                   help="pin one fuzz configuration (default: per-seed "
+                        "draw from the pool)")
+    p.add_argument("--corpus-dir", default=None,
+                   help="archive shrunk failing cases into this directory")
+    p.add_argument("--replay", default=None, metavar="DIR",
+                   help="replay archived corpus cases instead of fuzzing")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report failures without minimizing them")
+    p.add_argument("--no-timing", action="store_true",
+                   help="skip scheduler timing invariants")
+    p.add_argument("--progress", action="store_true",
+                   help="print progress to stderr")
+    p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser("specialize",
                        help="pick the best instance for a model")

@@ -233,6 +233,28 @@ class FunctionalSimulator:
             return np.zeros(0, dtype=np.float32)
         return np.concatenate(outs)
 
+    def snapshot(self) -> Dict[str, object]:
+        """Copy of the full architectural state, for conformance checks.
+
+        The schema matches
+        :meth:`repro.verify.reference.ReferenceInterpreter.snapshot`, so
+        differential runners can compare executors field by field. The
+        output queue is *not* drained.
+        """
+        return {
+            "vrf": {mem.name: vrf.read(0, vrf.depth)
+                    for mem, vrf in self.vrfs.items()},
+            "mrf": self.mrf.read_tiles(0, self.mrf.capacity),
+            "dram_vectors": {k: v.copy()
+                             for k, v in self.dram._vectors.items()},
+            "dram_tiles": {k: v.copy()
+                           for k, v in self.dram._tiles.items()},
+            "outputs": [v.copy() for v in self.netq._out_vectors],
+            "netq_pending_inputs": self.netq.pending_inputs,
+            "netq_pending_tiles": len(self.netq._in_tiles),
+            "scalar_regs": dict(self.scalar_regs),
+        }
+
     # -- execution -----------------------------------------------------------
 
     def run(self, program: NpuProgram,

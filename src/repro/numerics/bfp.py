@@ -156,6 +156,43 @@ def decompose(x: np.ndarray, fmt: BfpFormat) -> Tuple[np.ndarray, np.ndarray]:
     return mantissas.reshape(original_shape), exponents
 
 
+def quantize_reference(x: np.ndarray, fmt: BfpFormat) -> np.ndarray:
+    """Pure-python reference quantizer (the conformance oracle).
+
+    Computes the same mapping as :func:`quantize` one block at a time
+    with scalar :mod:`math` arithmetic — shared exponent from
+    ``math.frexp`` of the block maximum, mantissas via round-half-even
+    (python's ``round``, matching ``np.rint``), clamp to the mantissa
+    range — sharing no code with the vectorized implementation. Used by
+    :mod:`repro.verify` to cross-check the production path bit for bit.
+    """
+    arr = np.asarray(x)
+    shaped = arr.reshape(-1, arr.shape[-1]) if arr.ndim else arr.reshape(1, 1)
+    if shaped.shape[-1] % fmt.block_size != 0:
+        raise ValueError(
+            f"last axis ({shaped.shape[-1]}) must be a multiple of the "
+            f"block size ({fmt.block_size}); pad to the native dimension "
+            "first")
+    out = np.zeros(shaped.shape, dtype=np.float32)
+    for r in range(shaped.shape[0]):
+        for b in range(shaped.shape[1] // fmt.block_size):
+            lo, hi = b * fmt.block_size, (b + 1) * fmt.block_size
+            block = [float(v) for v in shaped[r, lo:hi]]
+            amax = max(abs(v) for v in block)
+            if amax > 0:
+                exponent = math.frexp(amax)[1] - 1
+            else:
+                exponent = fmt.min_exponent
+            exponent = min(max(exponent, fmt.min_exponent),
+                           fmt.max_exponent)
+            step = math.ldexp(1.0, exponent - fmt.mantissa_bits + 1)
+            for j, v in enumerate(block):
+                mant = round(v / step)
+                mant = min(max(mant, -fmt.max_mantissa), fmt.max_mantissa)
+                out[r, lo + j] = np.float32(mant * step)
+    return out.reshape(arr.shape)
+
+
 def quantize(x: np.ndarray, fmt: BfpFormat) -> np.ndarray:
     """Quantize ``x`` to BFP and return the dequantized float32 array."""
     original_shape = np.asarray(x).shape
@@ -187,8 +224,13 @@ def bfp_dot(a: np.ndarray, b: np.ndarray, fmt: BfpFormat) -> np.ndarray:
 
 
 def to_float16(x: np.ndarray) -> np.ndarray:
-    """Round to float16 and return as float32 (the pipeline word type)."""
-    return np.asarray(x, dtype=np.float16).astype(np.float32)
+    """Round to float16 and return as float32 (the pipeline word type).
+
+    Out-of-range values saturate to ``inf``, the defined behaviour of the
+    narrow pipeline word; numpy's overflow warning is suppressed.
+    """
+    with np.errstate(over="ignore"):
+        return np.asarray(x, dtype=np.float16).astype(np.float32)
 
 
 #: The RNN production format used by BW_S10 (Table IV).

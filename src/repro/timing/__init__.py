@@ -1,5 +1,6 @@
 """Cycle-level timing model of the BW NPU microarchitecture."""
 
+from .bounds import serial_lower_bound
 from .latency import ChainLatency, LatencyConstants, LatencyModel
 from .report import ChainRecord, TimingReport
 from .scheduler import TimingSimulator, steady_state_cycles_per_step
@@ -19,4 +20,5 @@ __all__ = [
     "DecoderNode", "HddTree", "build_hdd_tree",
     "OccupancySummary", "occupancy", "occupancy_from_trace",
     "records_from_trace", "render_timeline", "render_trace_timeline",
+    "serial_lower_bound",
 ]

@@ -1,0 +1,68 @@
+"""Analytic lower bounds on scheduled program time.
+
+The event-driven scheduler can never beat the serial occupancy of any
+single resource: the MVM issue pipeline, the MFU stream, the DRAM/network
+transfer port, and the scalar dispatch stream each process their chains
+in program order, so the schedule's makespan is at least the largest of
+the per-resource busy sums. This is the UDM-style "unconstrained except
+one resource" argument of the paper's Section III methodology applied to
+the compound-ISA machine, and it gives the conformance fuzzer a
+program-shape-independent timing invariant:
+
+    ``TimingReport.total_cycles >= serial_lower_bound(...) (+ overhead)``
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..config import NpuConfig
+from ..isa.memspace import ScalarReg
+from ..isa.program import NpuProgram, SetScalar
+from .latency import LatencyConstants, LatencyModel
+
+
+def serial_lower_bound(program: NpuProgram, config: NpuConfig,
+                       bindings: Optional[Dict[str, int]] = None,
+                       constants: Optional[LatencyConstants] = None
+                       ) -> float:
+    """Largest per-resource serial occupancy of ``program`` in cycles.
+
+    Walks the dynamic event stream with the same
+    :class:`~repro.timing.latency.LatencyModel` the scheduler uses and
+    sums, per resource, the cycles that resource is necessarily held:
+    ``mv_mul`` issue occupancy on the MVM, point-wise issue occupancy on
+    the MFU stream, matrix-chain cycles on the transfer port, and chain
+    setup/dispatch on the scalar front end (counted up to the last
+    chain, since trailing scalar writes need not delay completion). The
+    returned bound excludes the per-invocation overhead constant;
+    compare against a report produced with
+    ``include_invocation_overhead=False``, or add
+    ``constants.invocation_overhead``.
+    """
+    lat = LatencyModel(config, constants)
+    consts = lat.constants
+    rows = cols = 1
+    mvm = mfu = transfer = 0.0
+    dispatch = 0.0
+    dispatch_at_last_chain = 0.0
+    for event in program.events(bindings):
+        if isinstance(event, SetScalar):
+            if event.reg is ScalarReg.Rows:
+                rows = event.value
+            elif event.reg is ScalarReg.Columns:
+                cols = event.value
+            dispatch += consts.dispatch_interval
+            continue
+        n_instr = len(event) + 1  # + end_chain
+        dispatch += max(consts.chain_setup_cycles,
+                        n_instr * consts.dispatch_interval)
+        dispatch_at_last_chain = dispatch
+        if event.is_matrix_chain:
+            transfer += lat.matrix_chain_cycles(
+                rows * cols, config.weight_bits_per_element / 8)
+        elif event.has_mv_mul:
+            mvm += lat.chain_latency(event, rows, cols).issue
+        else:
+            mfu += lat.chain_latency(event, rows, cols).issue
+    return max(mvm, mfu, transfer, dispatch_at_last_chain)

@@ -1,0 +1,249 @@
+"""Differential execution of one fuzz case across every engine.
+
+Runs a :class:`~repro.verify.generator.ProgramCase` on three functional
+engines — the pure-python :class:`~repro.verify.reference.ReferenceInterpreter`,
+the naive-loop :class:`~repro.functional.executor.FunctionalSimulator`,
+and its vectorized fast path — from identical initial state, and demands
+bit-identical architectural snapshots, dynamic statistics, and
+per-opcode metrics counters. The same program is then run through the
+:class:`~repro.timing.scheduler.TimingSimulator` and checked against
+program-shape-independent timing invariants (serial lower bound,
+occupancy range, trace/report agreement, loop-replay monotonicity).
+
+Comparisons are NaN-tolerant (``equal_nan=True``): float16 saturation
+can legitimately produce ``inf`` and then ``nan`` downstream, and the
+conformance requirement is that every engine produces the *same* NaNs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ReproError
+from ..functional.executor import FunctionalSimulator
+from ..obs.metrics import Metrics
+from ..obs.trace import Tracer
+from ..timing import (TimingSimulator, occupancy, occupancy_from_trace,
+                      serial_lower_bound)
+from .generator import ProgramCase
+from .reference import ReferenceInterpreter
+
+#: Slack for floating-point cycle accounting in timing invariants.
+_CYCLE_EPS = 1e-6
+
+
+class CaseInvalid(ReproError):
+    """Every engine rejected the program identically.
+
+    Generated cases are well-formed by construction, so this normally
+    appears only for shrink candidates (which may cut a producer chain
+    that a later consumer needed); the shrinker skips such candidates.
+    """
+
+
+@dataclasses.dataclass
+class DiffResult:
+    """Outcome of one differential run."""
+
+    case: ProgramCase
+    mismatches: List[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def load_reference(case: ProgramCase) -> ReferenceInterpreter:
+    """Fresh reference interpreter holding the case's initial state."""
+    ref = ReferenceInterpreter(case.config)
+    for mem, data in case.vrf_init.items():
+        ref.load_vrf(mem, data)
+    ref.load_dram_vectors(0, case.dram_vectors)
+    ref.load_dram_tiles(0, case.dram_tiles)
+    if case.netq_vectors.shape[0]:
+        ref.push_inputs(case.netq_vectors)
+    ref.push_input_tiles(case.netq_tiles)
+    return ref
+
+
+def load_simulator(case: ProgramCase, naive: bool,
+                   metrics: Optional[Metrics] = None) -> FunctionalSimulator:
+    """Fresh functional simulator holding the case's initial state."""
+    sim = FunctionalSimulator(case.config, metrics=metrics, naive=naive)
+    for mem, data in case.vrf_init.items():
+        sim.vrfs[mem].write(0, data)
+    sim.dram.write_vectors(0, case.dram_vectors)
+    sim.dram.write_tiles(0, case.dram_tiles)
+    for vec in case.netq_vectors:
+        sim.netq.push_input(vec)
+    if case.netq_tiles.shape[0]:
+        sim.netq.push_input_tiles(case.netq_tiles)
+    return sim
+
+
+def _guarded(fn: Callable[[], None]) -> Optional[str]:
+    """Run ``fn``; return ``"Type: message"`` if it raised, else None."""
+    try:
+        fn()
+        return None
+    except ReproError as exc:
+        return f"{type(exc).__name__}: {exc}"
+
+
+def _compare_arrays(label: str, a: np.ndarray, b: np.ndarray,
+                    out: List[str]) -> None:
+    a, b = np.asarray(a), np.asarray(b)
+    if a.shape != b.shape:
+        out.append(f"{label}: shape {a.shape} != {b.shape}")
+        return
+    if not np.array_equal(a, b, equal_nan=True):
+        a64, b64 = a.astype(np.float64), b.astype(np.float64)
+        delta = np.abs(a64 - b64)
+        delta[np.isnan(delta)] = np.inf       # one-sided NaN: divergent
+        delta[np.isnan(a64) & np.isnan(b64)] = 0.0
+        idx = np.unravel_index(int(np.argmax(delta)), a.shape)
+        out.append(f"{label}: worst divergence at {tuple(idx)}: "
+                   f"{a[idx]!r} != {b[idx]!r}")
+
+
+def _compare_snapshots(tag: str, lhs: Dict[str, object],
+                       rhs: Dict[str, object], out: List[str]) -> None:
+    for name in lhs["vrf"]:
+        _compare_arrays(f"{tag}: vrf[{name}]", lhs["vrf"][name],
+                        rhs["vrf"][name], out)
+    _compare_arrays(f"{tag}: mrf", lhs["mrf"], rhs["mrf"], out)
+    for space in ("dram_vectors", "dram_tiles"):
+        lmap, rmap = lhs[space], rhs[space]
+        if set(lmap) != set(rmap):
+            out.append(f"{tag}: {space} keys {sorted(lmap)} != "
+                       f"{sorted(rmap)}")
+        else:
+            for key in sorted(lmap):
+                _compare_arrays(f"{tag}: {space}[{key}]", lmap[key],
+                                rmap[key], out)
+    if len(lhs["outputs"]) != len(rhs["outputs"]):
+        out.append(f"{tag}: output count {len(lhs['outputs'])} != "
+                   f"{len(rhs['outputs'])}")
+    else:
+        for i, (a, b) in enumerate(zip(lhs["outputs"], rhs["outputs"])):
+            _compare_arrays(f"{tag}: outputs[{i}]", a, b, out)
+    for field in ("netq_pending_inputs", "netq_pending_tiles",
+                  "scalar_regs"):
+        if lhs[field] != rhs[field]:
+            out.append(f"{tag}: {field} {lhs[field]!r} != {rhs[field]!r}")
+
+
+def _op_counters(metrics: Metrics) -> Dict[str, int]:
+    prefix = "executor.ops."
+    return {name[len(prefix):]: int(counter.value)
+            for name, counter in metrics.counters.items()
+            if name.startswith(prefix)}
+
+
+def run_differential(case: ProgramCase,
+                     check_timing: bool = True) -> DiffResult:
+    """Execute ``case`` on every engine and collect conformance failures.
+
+    Returns a :class:`DiffResult` whose ``mismatches`` list is empty iff
+    all engines agree and every timing invariant holds. Raises
+    :class:`CaseInvalid` when all three functional engines reject the
+    program with the same error type (an ill-formed case, not a bug).
+    """
+    ref = load_reference(case)
+    naive_metrics, vec_metrics = Metrics(), Metrics()
+    naive = load_simulator(case, naive=True, metrics=naive_metrics)
+    vec = load_simulator(case, naive=False, metrics=vec_metrics)
+
+    errors = {
+        "reference": _guarded(lambda: ref.run(case.program)),
+        "naive": _guarded(lambda: naive.run(case.program)),
+        "vectorized": _guarded(lambda: vec.run(case.program)),
+    }
+    raised = {k: v for k, v in errors.items() if v is not None}
+    if len(raised) == 3:
+        kinds = {v.split(":", 1)[0] for v in raised.values()}
+        if len(kinds) == 1:
+            raise CaseInvalid(next(iter(raised.values())))
+        return DiffResult(case, [
+            f"engines all raised but disagree on the error: {raised}"])
+    if raised:
+        return DiffResult(case, [
+            f"only {sorted(raised)} raised: {raised}"])
+
+    mismatches: List[str] = []
+    ref_snap = ref.snapshot()
+    _compare_snapshots("reference vs naive", ref_snap, naive.snapshot(),
+                       mismatches)
+    _compare_snapshots("naive vs vectorized", naive.snapshot(),
+                       vec.snapshot(), mismatches)
+
+    ref_stats = ref.stats_dict()
+    for sim, tag in ((naive, "naive"), (vec, "vectorized")):
+        got = {"chains_executed": sim.stats.chains_executed,
+               "instructions_executed": sim.stats.instructions_executed,
+               "mv_mul_count": sim.stats.mv_mul_count,
+               "macs": sim.stats.macs,
+               "pointwise_flops": sim.stats.pointwise_flops}
+        if got != ref_stats:
+            mismatches.append(
+                f"stats reference vs {tag}: {ref_stats} != {got}")
+
+    for metrics, tag in ((naive_metrics, "naive"),
+                         (vec_metrics, "vectorized")):
+        ops = _op_counters(metrics)
+        want = {k: v for k, v in ref.op_counts.items() if v}
+        if ops != want:
+            mismatches.append(
+                f"op counters reference vs {tag}: {want} != {ops}")
+    naive_counts = {n: c.value for n, c in naive_metrics.counters.items()}
+    vec_counts = {n: c.value for n, c in vec_metrics.counters.items()}
+    if naive_counts != vec_counts:
+        mismatches.append(f"metrics counters naive vs vectorized: "
+                          f"{naive_counts} != {vec_counts}")
+
+    if check_timing:
+        mismatches.extend(check_timing_invariants(case, ref))
+    return DiffResult(case, mismatches)
+
+
+def check_timing_invariants(case: ProgramCase,
+                            ref: ReferenceInterpreter) -> List[str]:
+    """Timing-model invariants that hold for any well-formed program."""
+    out: List[str] = []
+    tracer = Tracer()
+    timer = TimingSimulator(case.config, record_chains=True, tracer=tracer)
+    report = timer.run(case.program, include_invocation_overhead=False)
+
+    bound = serial_lower_bound(case.program, case.config)
+    if report.total_cycles < bound - _CYCLE_EPS:
+        out.append(f"total_cycles {report.total_cycles} below serial "
+                   f"lower bound {bound}")
+    occ = report.mvm_occupancy
+    if not (0.0 <= occ <= 1.0 + _CYCLE_EPS):
+        out.append(f"mvm_occupancy {occ} outside [0, 1]")
+
+    from_report = occupancy(report)
+    from_trace = occupancy_from_trace(tracer)
+    if (abs(from_report.total_cycles - from_trace.total_cycles)
+            > _CYCLE_EPS
+            or abs(from_report.mvm_busy_cycles
+                   - from_trace.mvm_busy_cycles) > _CYCLE_EPS
+            or from_report.chains != from_trace.chains):
+        out.append(f"occupancy report {from_report} != trace {from_trace}")
+
+    if report.chains_executed != ref.chains_executed:
+        out.append(f"timing chains {report.chains_executed} != dynamic "
+                   f"chains {ref.chains_executed}")
+    if report.instructions_dispatched != ref.instructions_executed:
+        out.append(f"timing instructions {report.instructions_dispatched} "
+                   f"!= dynamic instructions {ref.instructions_executed}")
+
+    replay = TimingSimulator(case.config, replay_loops=True).run(
+        case.program, include_invocation_overhead=False)
+    if replay.total_cycles > report.total_cycles + _CYCLE_EPS:
+        out.append(f"replay_loops cycles {replay.total_cycles} exceed "
+                   f"cold-schedule cycles {report.total_cycles}")
+    return out

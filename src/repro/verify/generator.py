@@ -1,0 +1,411 @@
+"""Seeded random generator of well-formed NPU programs.
+
+Produces :class:`ProgramCase` objects — a small NPU configuration, a
+validated :class:`~repro.isa.program.NpuProgram`, and the initial
+architectural state it runs against — suitable for differential
+execution on the reference interpreter and both functional-simulator
+paths.
+
+Generation is constraint-tracking rather than generate-and-filter: the
+generator knows the live ``rows``/``columns`` values, the network-queue
+balance, the populated DRAM regions, and the MFU routing capacity, so
+every emitted program executes without errors by construction. Opcode
+mix is steered by a :class:`FuzzProfile` (Table II opcode weights).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import NpuConfig
+from ..isa import instructions as ins
+from ..isa.chain import InstructionChain
+from ..isa.memspace import MemId, ScalarReg
+from ..isa.opcodes import FuCategory, Opcode
+from ..isa.program import Loop, NpuProgram, SetScalar
+
+#: Pool of small configurations the fuzzer draws from: BFP-quantized at
+#: both Table IV mantissa widths, exact mode, and a wider native
+#: dimension. All are tiny so the pure-python reference stays fast.
+FUZZ_CONFIGS: Dict[str, NpuConfig] = {
+    name: NpuConfig(name=name, tile_engines=2, lanes=4, native_dim=dim,
+                    mrf_size=48, mfus=2, initial_vrf_depth=32,
+                    addsub_vrf_depth=32, multiply_vrf_depth=32,
+                    mantissa_bits=mb)
+    for name, dim, mb in [
+        ("fuzz8_m2", 8, 2),
+        ("fuzz8_m5", 8, 5),
+        ("fuzz8_exact", 8, 0),
+        ("fuzz16_m2", 16, 2),
+    ]
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class FuzzProfile:
+    """Opcode/shape weights steering program generation."""
+
+    name: str = "default"
+    #: Relative event weights.
+    w_scalar_write: float = 2.0
+    w_matrix_chain: float = 1.5
+    w_vector_chain: float = 8.0
+    w_loop: float = 1.0
+    #: Probability a vector chain carries an ``mv_mul``.
+    p_mv_mul: float = 0.55
+    #: Probability a chain head / terminal touches the network queue.
+    p_netq: float = 0.25
+    #: Point-wise opcode weights (Table II PWV rows).
+    pointwise_weights: Sequence[float] = (1.0,) * 8
+    #: Mean number of point-wise ops per vector chain.
+    mean_pointwise: float = 2.0
+    #: Probability of a multicast (second ``v_wr``) terminal.
+    p_multicast: float = 0.2
+    #: Maximum mega-SIMD rows/columns multiplier.
+    max_dim: int = 3
+    #: Events per program (before loop folding).
+    min_events: int = 4
+    max_events: int = 14
+
+
+#: Named opcode-weight profiles for the CLI.
+PROFILES: Dict[str, FuzzProfile] = {
+    "default": FuzzProfile(),
+    "mvm": FuzzProfile(name="mvm", p_mv_mul=0.95, w_matrix_chain=3.0,
+                       mean_pointwise=1.0),
+    "pointwise": FuzzProfile(name="pointwise", p_mv_mul=0.1,
+                             w_matrix_chain=0.5, mean_pointwise=3.5,
+                             p_multicast=0.35),
+    "memory": FuzzProfile(name="memory", p_mv_mul=0.3, w_matrix_chain=4.0,
+                          p_netq=0.5, mean_pointwise=0.8),
+}
+
+#: Point-wise opcodes in the order ``pointwise_weights`` indexes them.
+_POINTWISE = (Opcode.VV_ADD, Opcode.VV_A_SUB_B, Opcode.VV_B_SUB_A,
+              Opcode.VV_MAX, Opcode.VV_MUL, Opcode.V_RELU, Opcode.V_SIGM,
+              Opcode.V_TANH)
+
+_FU_OF = {Opcode.VV_ADD: FuCategory.ADD_SUB,
+          Opcode.VV_A_SUB_B: FuCategory.ADD_SUB,
+          Opcode.VV_B_SUB_A: FuCategory.ADD_SUB,
+          Opcode.VV_MAX: FuCategory.ADD_SUB,
+          Opcode.VV_MUL: FuCategory.MULTIPLY,
+          Opcode.V_RELU: FuCategory.ACTIVATION,
+          Opcode.V_SIGM: FuCategory.ACTIVATION,
+          Opcode.V_TANH: FuCategory.ACTIVATION}
+
+
+@dataclasses.dataclass
+class ProgramCase:
+    """One fuzz case: configuration, program, and initial state."""
+
+    config: NpuConfig
+    program: NpuProgram
+    #: Initial VRF contents, full arrays of shape (depth, N).
+    vrf_init: Dict[MemId, np.ndarray]
+    #: Pre-populated DRAM vector region starting at index 0, (D, N).
+    dram_vectors: np.ndarray
+    #: Pre-populated DRAM tile region starting at index 0, (T, N, N).
+    dram_tiles: np.ndarray
+    #: Vectors queued on the network input, (Q, N).
+    netq_vectors: np.ndarray
+    #: Matrix tiles queued on the network input, (QT, N, N).
+    netq_tiles: np.ndarray
+    #: Provenance note (seed, profile, shrink history).
+    note: str = ""
+
+    def instruction_count(self) -> int:
+        """Chain instructions plus scalar writes (``end_chain`` markers
+        excluded) — the size metric used for shrink reporting."""
+        count = 0
+        for item in _walk(self.program.items):
+            if isinstance(item, SetScalar):
+                count += 1
+            else:
+                count += len(item)
+        return count
+
+
+def _walk(items):
+    for item in items:
+        if isinstance(item, Loop):
+            yield from _walk(item.body)
+        else:
+            yield item
+
+
+class _GenState:
+    """Constraint-tracking state threaded through generation."""
+
+    def __init__(self, rng: np.random.Generator, config: NpuConfig,
+                 profile: FuzzProfile):
+        self.rng = rng
+        self.config = config
+        self.profile = profile
+        self.rows = 1
+        self.cols = 1
+        n = config.native_dim
+        self.dram_vec_count = 16
+        self.dram_tile_count = 16
+        #: MRF window the program initializes and mv_mul may address.
+        self.mrf_window = min(12, config.mrf_address_space)
+        self.netq_vectors = int(rng.integers(0, 12))
+        self.netq_tiles = int(rng.integers(0, 8))
+        self.netq_vec_left = self.netq_vectors
+        self.netq_tile_left = self.netq_tiles
+        self.native_dim = n
+
+    def rand_values(self, shape) -> np.ndarray:
+        """Random float32 values with a wide but finite dynamic range."""
+        base = self.rng.standard_normal(shape)
+        scale = np.exp2(self.rng.integers(-4, 5, size=shape).astype(
+            np.float64))
+        return (base * scale).astype(np.float32)
+
+
+def generate_case(seed: int, profile: Optional[FuzzProfile] = None,
+                  config: Optional[NpuConfig] = None) -> ProgramCase:
+    """Generate one deterministic, well-formed fuzz case for ``seed``."""
+    profile = profile or PROFILES["default"]
+    rng = np.random.default_rng(seed)
+    if config is None:
+        names = sorted(FUZZ_CONFIGS)
+        config = FUZZ_CONFIGS[names[int(rng.integers(len(names)))]]
+    state = _GenState(rng, config, profile)
+
+    events: List[object] = []
+    _emit_mrf_init(state, events)
+    n_events = int(rng.integers(profile.min_events,
+                                profile.max_events + 1))
+    weights = np.array([profile.w_scalar_write, profile.w_matrix_chain,
+                        profile.w_vector_chain], dtype=np.float64)
+    weights /= weights.sum()
+    for _ in range(n_events):
+        kind = rng.choice(3, p=weights)
+        if kind == 0:
+            _emit_scalar_write(state, events)
+        elif kind == 1:
+            _emit_matrix_chain(state, events)
+        else:
+            _emit_vector_chain(state, events)
+
+    items = _fold_loops(state, events)
+    program = NpuProgram(tuple(items), name=f"fuzz-{seed}")
+    depths = {MemId.InitialVrf: config.initial_vrf_depth,
+              MemId.AddSubVrf: config.addsub_vrf_depth,
+              MemId.MultiplyVrf: config.multiply_vrf_depth}
+    return ProgramCase(
+        config=config,
+        program=program,
+        vrf_init={mem: state.rand_values((depth, config.native_dim))
+                  for mem, depth in depths.items()},
+        dram_vectors=state.rand_values(
+            (state.dram_vec_count, config.native_dim)),
+        dram_tiles=state.rand_values(
+            (state.dram_tile_count, config.native_dim, config.native_dim)),
+        netq_vectors=state.rand_values(
+            (state.netq_vectors, config.native_dim)),
+        netq_tiles=state.rand_values(
+            (state.netq_tiles, config.native_dim, config.native_dim)),
+        note=f"seed={seed} profile={profile.name} config={config.name}",
+    )
+
+
+# -- event emitters --------------------------------------------------------
+
+def _emit_mrf_init(state: _GenState, events: List[object]) -> None:
+    """Program prologue: initialize the MRF window via matrix chains so
+    ``mv_mul`` reads quantized-on-write weights, exercising m_rd/m_wr."""
+    rng = state.rng
+    window = state.mrf_window
+    rows = int(rng.integers(1, 4))
+    cols = max(1, window // rows // 2)
+    if rows != state.rows:
+        events.append(SetScalar(ScalarReg.Rows, rows))
+        state.rows = rows
+    if cols != state.cols:
+        events.append(SetScalar(ScalarReg.Columns, cols))
+        state.cols = cols
+    count = rows * cols
+    filled = 0
+    while filled < window:
+        count = min(count, window - filled)
+        if count != state.rows * state.cols:
+            # Trailing partial group: drop to single-tile moves.
+            if state.rows != 1:
+                events.append(SetScalar(ScalarReg.Rows, 1))
+                state.rows = 1
+            if state.cols != 1:
+                events.append(SetScalar(ScalarReg.Columns, 1))
+                state.cols = 1
+            count = 1
+        src = int(rng.integers(0, state.dram_tile_count - count + 1))
+        events.append(InstructionChain([
+            ins.m_rd(MemId.Dram, src),
+            ins.m_wr(MemId.MatrixRf, filled)]))
+        filled += count
+
+
+def _emit_scalar_write(state: _GenState, events: List[object]) -> None:
+    rng = state.rng
+    reg = ScalarReg(int(rng.choice(
+        [ScalarReg.Rows, ScalarReg.Columns, ScalarReg.Iterations],
+        p=[0.45, 0.45, 0.1])))
+    if reg is ScalarReg.Iterations:
+        value = int(rng.integers(0, 16))
+    else:
+        value = int(rng.integers(1, state.profile.max_dim + 1))
+        if reg is ScalarReg.Rows:
+            state.rows = value
+        else:
+            state.cols = value
+    events.append(SetScalar(reg, value))
+
+
+def _emit_matrix_chain(state: _GenState, events: List[object]) -> None:
+    rng = state.rng
+    count = state.rows * state.cols
+    if count > state.dram_tile_count:
+        return  # current mega-SIMD group too large for the tile region
+    sources = [MemId.Dram]
+    if state.netq_tile_left >= count:
+        sources.append(MemId.NetQ)
+    src = sources[int(rng.integers(len(sources)))]
+    if src is MemId.NetQ and rng.random() < state.profile.p_netq:
+        state.netq_tile_left -= count
+        rd = ins.m_rd(MemId.NetQ)
+    else:
+        rd = ins.m_rd(MemId.Dram, int(rng.integers(
+            0, state.dram_tile_count - count + 1)))
+    if rng.random() < 0.7 and count <= state.config.mrf_address_space:
+        wr = ins.m_wr(MemId.MatrixRf, int(rng.integers(
+            0, state.config.mrf_address_space - count + 1)))
+    else:
+        wr = ins.m_wr(MemId.Dram, int(rng.integers(
+            0, state.dram_tile_count - count + 1)))
+    events.append(InstructionChain([rd, wr]))
+
+
+def _emit_vector_chain(state: _GenState, events: List[object]) -> None:
+    rng = state.rng
+    profile = state.profile
+    rows, cols = state.rows, state.cols
+    has_mvm = (rng.random() < profile.p_mv_mul
+               and rows * cols <= state.mrf_window)
+    width_in = cols if has_mvm else rows
+
+    instrs: List[object] = [_head_read(state, width_in)]
+    if has_mvm:
+        base = int(rng.integers(0, state.mrf_window - rows * cols + 1))
+        instrs.append(ins.mv_mul(base))
+    instrs.extend(_pointwise_run(state))
+    instrs.append(_terminal_write(state, rows))
+    if rng.random() < profile.p_multicast:
+        instrs.append(_terminal_write(state, rows))
+    events.append(InstructionChain(instrs))
+
+
+def _head_read(state: _GenState, width_in: int):
+    rng = state.rng
+    sources = [MemId.InitialVrf, MemId.AddSubVrf, MemId.MultiplyVrf,
+               MemId.Dram]
+    if (state.netq_vec_left >= width_in
+            and rng.random() < state.profile.p_netq):
+        state.netq_vec_left -= width_in
+        return ins.v_rd(MemId.NetQ)
+    mem = sources[int(rng.integers(len(sources)))]
+    limit = (state.dram_vec_count if mem is MemId.Dram
+             else _vrf_depth(state.config, mem))
+    if width_in > limit:
+        mem = MemId.InitialVrf
+        limit = state.config.initial_vrf_depth
+    return ins.v_rd(mem, int(rng.integers(0, limit - width_in + 1)))
+
+
+def _pointwise_run(state: _GenState) -> List[object]:
+    """Sample point-wise ops under the MFU routing capacity (greedy
+    placement mirroring ``InstructionChain.assign_function_units``)."""
+    rng = state.rng
+    profile = state.profile
+    weights = np.asarray(profile.pointwise_weights, dtype=np.float64)
+    weights = weights / weights.sum()
+    target = rng.poisson(profile.mean_pointwise)
+    ops: List[object] = []
+    mfu, used = 0, set()
+    for _ in range(target):
+        op = _POINTWISE[int(rng.choice(len(_POINTWISE), p=weights))]
+        category = _FU_OF[op]
+        trial_mfu, trial_used = mfu, set(used)
+        while category in trial_used:
+            trial_mfu += 1
+            trial_used = set()
+        if trial_mfu >= state.config.mfus:
+            break
+        mfu, used = trial_mfu, trial_used
+        used.add(category)
+        if op in (Opcode.V_RELU, Opcode.V_SIGM, Opcode.V_TANH):
+            ops.append(ins.Instruction(op))
+        else:
+            mem_depth = (state.config.multiply_vrf_depth
+                         if op is Opcode.VV_MUL
+                         else state.config.addsub_vrf_depth)
+            index = int(rng.integers(0, mem_depth - state.rows + 1))
+            ops.append(ins.Instruction(op, index))
+    return ops
+
+
+def _terminal_write(state: _GenState, rows: int):
+    rng = state.rng
+    if rng.random() < state.profile.p_netq:
+        return ins.v_wr(MemId.NetQ)
+    targets = [MemId.InitialVrf, MemId.AddSubVrf, MemId.MultiplyVrf,
+               MemId.Dram]
+    mem = targets[int(rng.integers(len(targets)))]
+    limit = (state.dram_vec_count if mem is MemId.Dram
+             else _vrf_depth(state.config, mem))
+    if rows > limit:
+        mem = MemId.InitialVrf
+        limit = state.config.initial_vrf_depth
+    return ins.v_wr(mem, int(rng.integers(0, limit - rows + 1)))
+
+
+def _vrf_depth(config: NpuConfig, mem: MemId) -> int:
+    return {MemId.InitialVrf: config.initial_vrf_depth,
+            MemId.AddSubVrf: config.addsub_vrf_depth,
+            MemId.MultiplyVrf: config.multiply_vrf_depth}[mem]
+
+
+def _fold_loops(state: _GenState, events: List[object]) -> List[object]:
+    """Fold eligible spans of the flat event list into counted loops.
+
+    A span is loopable only if it contains no network-queue reads (the
+    queue balance would change across iterations) and no scalar writes
+    (the first iteration would otherwise run under different
+    ``rows``/``columns`` than later ones).
+    """
+    rng = state.rng
+    if len(events) < 2 or rng.random() < 0.4:
+        return events
+    attempts = int(rng.integers(1, 3))
+    items = list(events)
+    for _ in range(attempts):
+        if len(items) < 2:
+            break
+        start = int(rng.integers(0, len(items) - 1))
+        length = int(rng.integers(1, min(4, len(items) - start) + 1))
+        span = items[start:start + length]
+        if not all(_loopable(item) for item in span):
+            continue
+        count = int(rng.integers(2, 4))
+        items[start:start + length] = [Loop(count, tuple(span))]
+    return items
+
+
+def _loopable(item) -> bool:
+    if isinstance(item, (SetScalar, Loop)):
+        return False
+    head = item.instructions[0]
+    return head.mem_id is not MemId.NetQ

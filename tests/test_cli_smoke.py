@@ -1,0 +1,85 @@
+"""CLI smoke tests: every headline subcommand exits 0 and produces
+parseable output files."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.tier1
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+
+
+def _trace_events(path):
+    with open(path) as fh:
+        trace = json.load(fh)
+    events = trace["traceEvents"]
+    assert events, "empty trace"
+    return {e["name"] for e in events}
+
+
+@pytest.mark.parametrize("workload", ["lstm", "gru"])
+def test_trace_rnn_smoke(workload, tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    jsonl = tmp_path / "events.jsonl"
+    rc = main(["trace", workload, "--hidden", "64", "--steps", "2",
+               "--out", str(out), "--jsonl", str(jsonl)])
+    assert rc == 0
+    names = _trace_events(out)
+    assert {"run", "chain"} <= names
+    assert jsonl.exists()
+    for line in jsonl.read_text().splitlines():
+        json.loads(line)
+    stdout = capsys.readouterr().out
+    assert "occupancy" in stdout
+    assert "match: yes" in stdout
+
+
+def test_trace_serve_faults_smoke(tmp_path, capsys):
+    out = tmp_path / "serve.json"
+    rc = main(["trace", "serve-faults", "--hidden", "64", "--steps", "2",
+               "--requests", "60", "--rate", "600", "--out", str(out)])
+    assert rc == 0
+    assert _trace_events(out)
+    assert "availability" in capsys.readouterr().out
+
+
+def test_serve_faults_smoke(capsys):
+    rc = main(["serve-faults", "--requests", "120", "--rate", "600",
+               "--replicas", "2", "--seed", "3"])
+    assert rc == 0
+    assert "serving under faults" in capsys.readouterr().out.lower()
+
+
+def test_fuzz_smoke(capsys):
+    rc = main(["fuzz", "--seed", "5", "--iterations", "4"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "0 failure(s)" in out
+    assert "all engines agree" in out
+
+
+def test_fuzz_replay_smoke(capsys):
+    rc = main(["fuzz", "--replay", str(CORPUS_DIR)])
+    assert rc == 0
+    assert "0 failure(s)" in capsys.readouterr().out
+
+
+def test_fuzz_corpus_dir_stays_empty_on_pass(tmp_path, capsys):
+    corpus = tmp_path / "corpus"
+    rc = main(["fuzz", "--seed", "6", "--iterations", "3",
+               "--corpus-dir", str(corpus)])
+    assert rc == 0
+    assert not list(corpus.glob("*.json")) if corpus.exists() else True
+    capsys.readouterr()
+
+
+def test_fuzz_pinned_config_and_profile(capsys):
+    rc = main(["fuzz", "--seed", "1", "--iterations", "3",
+               "--profile", "mvm", "--config", "fuzz8_exact",
+               "--no-timing"])
+    assert rc == 0
+    capsys.readouterr()

@@ -1,0 +1,111 @@
+"""Property-based encode/decode round-trip tests (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError, IsaError
+from repro.isa.encoding import (MAX_OPERAND, decode, decode_stream, encode,
+                                encode_stream)
+from repro.isa.instructions import Instruction
+from repro.isa.memspace import (MATRIX_READ_SOURCES, MATRIX_WRITE_TARGETS,
+                                VECTOR_READ_SOURCES, VECTOR_WRITE_TARGETS,
+                                MemId, ScalarReg)
+from repro.isa.opcodes import Opcode, OperandKind, info
+
+pytestmark = pytest.mark.tier1
+
+#: Boundary-heavy index distribution: hypothesis draws the edges often,
+#: but make 0 and MAX_OPERAND explicit so every run covers them.
+indexes = st.one_of(st.sampled_from([0, 1, MAX_OPERAND - 1, MAX_OPERAND]),
+                    st.integers(0, MAX_OPERAND))
+
+_MEM_CHOICES = {
+    Opcode.V_RD: sorted(VECTOR_READ_SOURCES),
+    Opcode.V_WR: sorted(VECTOR_WRITE_TARGETS),
+    Opcode.M_RD: sorted(MATRIX_READ_SOURCES),
+    Opcode.M_WR: sorted(MATRIX_WRITE_TARGETS),
+}
+
+
+@st.composite
+def instructions(draw):
+    """Any well-formed instruction, covering every Table II opcode."""
+    opcode = draw(st.sampled_from(sorted(Opcode)))
+    meta = info(opcode)
+
+    operand1 = None
+    if meta.operand1 is OperandKind.MEM_ID:
+        operand1 = draw(st.sampled_from(_MEM_CHOICES[opcode]))
+    elif meta.operand1 is OperandKind.SCALAR_REG:
+        operand1 = draw(st.sampled_from(sorted(ScalarReg)))
+    elif meta.operand1 is not OperandKind.NONE:
+        operand1 = draw(indexes)
+
+    operand2 = None
+    if meta.operand2 is OperandKind.MEM_INDEX:
+        # NetQ accesses carry no index; everything else requires one.
+        if operand1 is not MemId.NetQ:
+            operand2 = draw(indexes)
+    elif meta.operand2 is not OperandKind.NONE:
+        operand2 = draw(indexes)
+
+    return Instruction(opcode, operand1, operand2)
+
+
+@given(instructions())
+@settings(max_examples=300, deadline=None)
+def test_decode_encode_roundtrip(instr):
+    word = encode(instr)
+    assert 0 <= word < (1 << 32)
+    assert decode(word) == instr
+
+
+@given(st.lists(instructions(), max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_stream_roundtrip(stream):
+    data = encode_stream(stream)
+    assert len(data) == 12 + 4 * len(stream)
+    assert decode_stream(data) == stream
+
+
+@given(instructions())
+@settings(max_examples=100, deadline=None)
+def test_encoding_is_canonical(instr):
+    """One word per instruction: re-encoding the decode is identical."""
+    word = encode(instr)
+    assert encode(decode(word)) == word
+
+
+def test_boundary_operand_values():
+    cases = [
+        Instruction(Opcode.MV_MUL, 0),
+        Instruction(Opcode.MV_MUL, MAX_OPERAND),
+        Instruction(Opcode.S_WR, ScalarReg.Iterations, 0),
+        Instruction(Opcode.S_WR, ScalarReg.Iterations, MAX_OPERAND),
+        Instruction(Opcode.V_RD, MemId.Dram, MAX_OPERAND),
+        Instruction(Opcode.V_RD, MemId.NetQ),
+    ]
+    for instr in cases:
+        assert decode(encode(instr)) == instr
+
+
+def test_out_of_range_operand_rejected():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Opcode.MV_MUL, MAX_OPERAND + 1))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Opcode.S_WR, ScalarReg.Rows, MAX_OPERAND + 1))
+
+
+@given(st.integers(0, (1 << 32) - 1))
+@settings(max_examples=200, deadline=None)
+def test_decode_never_crashes(word):
+    """Arbitrary words either decode or raise IsaError — nothing else
+    (the stream decoder's foreign-data guarantee). EncodingError covers
+    bad fields; plain IsaError covers structurally invalid operand
+    combinations (e.g. a non-NetQ access with the index flag clear)."""
+    try:
+        instr = decode(word)
+    except IsaError:
+        return
+    assert isinstance(instr, Instruction)
