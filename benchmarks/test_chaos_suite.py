@@ -1,0 +1,78 @@
+"""Cluster-scale chaos suite: failure domains, graceful degradation.
+
+Four named scenarios (rack loss mid-burst, rolling slow nodes, TOR
+partition + recovery, overload beyond aggregate capacity) each run
+through the mitigated serving stack — power-of-two-choices routing,
+phi-accrual failure detection, token-bucket admission, deadline-aware
+shedding, CPU brownout — and through a no-mitigation ablation on the
+same arrival trace.  Over a million simulated requests total, in
+seconds of wall time, bit-deterministic under a fixed seed.
+"""
+
+from repro.harness.experiments import chaos
+from repro.system.chaos import run_chaos_scenario
+
+# 150k requests/scenario x 4 scenarios x 2 stacks > 1e6 simulated
+# requests per suite run.
+REQUESTS = 150_000
+
+
+def _avail(table, scenario, stack):
+    for row in table.rows:
+        if row[0] == scenario and row[1] == stack:
+            return float(row[3])
+    raise AssertionError(f"no row for {scenario}/{stack}")
+
+
+def test_chaos_suite(benchmark, emit):
+    table = benchmark(chaos, requests=REQUESTS)
+    emit(table, "chaos_suite")
+
+    total = sum(int(row[2]) for row in table.rows)
+    assert total >= 1_000_000
+
+    # The acceptance bar: mitigation strictly beats the ablated
+    # baseline where it matters most — losing a rack mid-burst and
+    # sustained overload past capacity.
+    for scenario in ("rack_loss", "overload"):
+        mit = _avail(table, scenario, "mitigated")
+        abl = _avail(table, scenario, "ablated")
+        assert mit > abl, (scenario, mit, abl)
+    # And never loses on the other scenarios either.
+    for scenario in ("rolling_slow", "partition"):
+        assert _avail(table, scenario, "mitigated") \
+            >= _avail(table, scenario, "ablated")
+
+    # The mitigated stack holds high availability through rack loss
+    # and sheds its way to a useful fraction under 1.4x overload.
+    assert _avail(table, "rack_loss", "mitigated") >= 95.0
+    assert _avail(table, "overload", "mitigated") >= 70.0
+    # The ablated overload run collapses: unbounded queues turn almost
+    # every request into a client timeout.
+    assert _avail(table, "overload", "ablated") < 20.0
+
+
+def test_chaos_suite_deterministic():
+    """Same seed => byte-identical table."""
+    a = chaos(requests=20_000, seed=11)
+    b = chaos(requests=20_000, seed=11)
+    assert a.render() == b.render()
+
+
+def test_chaos_scenarios_seed_sensitive():
+    """Different seeds draw different arrival traces and outcomes."""
+    a = run_chaos_scenario("rack_loss", requests=20_000, seed=1)
+    b = run_chaos_scenario("rack_loss", requests=20_000, seed=2)
+    assert len(a.status) != len(b.status) \
+        or a.availability != b.availability
+
+
+def test_detector_reacts_to_rack_loss():
+    """The phi-accrual detector evicts and readmits the lost rack."""
+    res = run_chaos_scenario("rack_loss", requests=50_000, seed=0)
+    evicted = [t for t in res.detector_transitions
+               if t[1] == "evict"]
+    readmitted = [t for t in res.detector_transitions
+                  if t[1] == "readmit"]
+    assert len(evicted) == 6 and len(readmitted) == 6
+    assert min(t[0] for t in readmitted) > max(t[0] for t in evicted)

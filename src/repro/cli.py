@@ -106,6 +106,44 @@ def _cmd_serve_faults(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .system.chaos import SCENARIOS, chaos_suite, run_chaos_scenario
+    from .system.cluster import ClusterSpec
+    spec = ClusterSpec(racks=args.racks,
+                       nodes_per_rack=args.nodes_per_rack)
+    if args.scenario == "all":
+        table = chaos_suite(requests=args.requests, seed=args.seed,
+                            spec=spec)
+        print(table.render())
+        if args.min_availability is None:
+            return 0
+        ok = True
+        for name in sorted(SCENARIOS):
+            res = run_chaos_scenario(name, spec=spec,
+                                     requests=args.requests,
+                                     seed=args.seed, mitigated=True)
+            if res.availability < args.min_availability:
+                ok = False
+                print(f"FLOOR VIOLATED: {name} availability "
+                      f"{res.availability:.4f} < "
+                      f"{args.min_availability}")
+        return 0 if ok else 1
+    ok = True
+    for mitigated in ((True,) if args.no_ablation else (True, False)):
+        res = run_chaos_scenario(args.scenario, spec=spec,
+                                 requests=args.requests,
+                                 seed=args.seed, mitigated=mitigated)
+        stack = "mitigated" if mitigated else "ablated"
+        print(f"--- {args.scenario} ({stack}) ---")
+        print(res.render())
+        if mitigated and args.min_availability is not None \
+                and res.availability < args.min_availability:
+            ok = False
+            print(f"FLOOR VIOLATED: availability "
+                  f"{res.availability:.4f} < {args.min_availability}")
+    return 0 if ok else 1
+
+
 def _finish_trace(args, tracer, metrics) -> None:
     from .obs import summarize, to_jsonl, write_chrome_trace
     count = write_chrome_trace(args.out, tracer)
@@ -288,6 +326,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replicas", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_serve_faults)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run cluster chaos scenarios (mitigated vs ablated)")
+    p.add_argument("scenario",
+                   choices=["all", "overload", "partition",
+                            "rack_loss", "rolling_slow"])
+    p.add_argument("--requests", type=int, default=50_000,
+                   help="simulated requests per scenario")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--racks", type=int, default=4)
+    p.add_argument("--nodes-per-rack", type=int, default=6)
+    p.add_argument("--min-availability", type=float, default=None,
+                   metavar="FRAC",
+                   help="exit 1 if any mitigated run falls below")
+    p.add_argument("--no-ablation", action="store_true",
+                   help="skip the no-mitigation baseline run")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser(
         "trace",

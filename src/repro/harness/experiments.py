@@ -686,6 +686,20 @@ def slo_under_faults(requests: int = 3000, rate_rps: float = 400.0,
                "completions. Same seed => identical table."])
 
 
+# ---------------------------------------------------------------------------
+# Cluster-scale chaos: failure domains and graceful degradation
+# ---------------------------------------------------------------------------
+
+def chaos(requests: int = 50_000, seed: int = 0) -> ExperimentTable:
+    """Cluster-scale chaos suite: every named scenario (rack loss
+    mid-burst, rolling slow nodes, partition + recovery, overload
+    beyond capacity) run through the mitigated serving stack and its
+    no-mitigation ablation.  See :func:`repro.system.chaos.chaos_suite`.
+    """
+    from ..system.chaos import chaos_suite
+    return chaos_suite(requests=requests, seed=seed)
+
+
 #: All experiment drivers by identifier.
 ALL_EXPERIMENTS = {
     "table1": table1,
@@ -702,6 +716,7 @@ ALL_EXPERIMENTS = {
     "serving_breakdown": serving_breakdown,
     "slo_under_load": slo_under_load,
     "slo_under_faults": slo_under_faults,
+    "chaos": chaos,
 }
 
 

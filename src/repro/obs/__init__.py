@@ -31,6 +31,7 @@ from .metrics import (
     NullMetrics,
     or_null_metrics,
     percentile,
+    percentile_or_nan,
 )
 from .export import (
     chrome_trace_events,
@@ -44,7 +45,7 @@ __all__ = [
     "InstantEvent", "NULL_TRACER", "NullTracer", "Span", "Tracer",
     "or_null",
     "Counter", "Gauge", "LatencyHistogram", "Metrics", "NULL_METRICS",
-    "NullMetrics", "or_null_metrics", "percentile",
+    "NullMetrics", "or_null_metrics", "percentile", "percentile_or_nan",
     "chrome_trace_events", "summarize", "to_chrome_trace", "to_jsonl",
     "write_chrome_trace",
 ]

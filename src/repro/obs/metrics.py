@@ -31,6 +31,19 @@ def percentile(samples: Sequence[float], q: float) -> float:
     return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
 
 
+def percentile_or_nan(samples: Sequence[float], q: float) -> float:
+    """Like :func:`percentile`, but ``nan`` for an empty sample set.
+
+    Degenerate result sets (nothing served, everything shed) are
+    expected in chaos scenarios; callers pair this with an explicit
+    flag (e.g. ``has_latencies``) instead of raising mid-report or
+    returning a misleading ``0.0``.
+    """
+    if len(samples) == 0:
+        return float("nan")
+    return percentile(samples, q)
+
+
 @dataclasses.dataclass
 class Counter:
     """A monotonically increasing total."""

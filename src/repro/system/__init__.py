@@ -1,6 +1,7 @@
-"""Datacenter-scale serving: network, microservices, faults, runtime."""
+"""Datacenter-scale serving: network, microservices, faults, runtime,
+and the cluster/chaos simulation layer."""
 
-from .network import Locality, NetworkModel
+from .network import Locality, NetworkFabric, NetworkModel
 from .microservice import (
     FpgaNode,
     HardwareMicroservice,
@@ -24,10 +25,31 @@ from .loadgen import (
     LoadResult,
     ServedRequest,
     SloComparison,
+    bursty_arrivals,
     compare_under_load,
+    diurnal_arrivals,
+    heavy_tailed_arrivals,
     poisson_arrivals,
     run_fault_scenario,
     uniform_arrivals,
+)
+from .cluster import (
+    BrownoutPolicy,
+    ClusterError,
+    ClusterEvent,
+    ClusterResult,
+    ClusterSimulator,
+    ClusterSpec,
+    PhiAccrualDetector,
+    TokenBucket,
+)
+from .chaos import (
+    ChaosScenario,
+    CorrelatedFaultInjector,
+    RepairDistribution,
+    SCENARIOS,
+    chaos_suite,
+    run_chaos_scenario,
 )
 from .runtime import (
     BidirectionalRnnService,
@@ -38,13 +60,20 @@ from .runtime import (
 )
 
 __all__ = [
-    "Locality", "NetworkModel", "FpgaNode", "HardwareMicroservice",
-    "InvocationResult", "MicroserviceRegistry", "ServiceError",
+    "Locality", "NetworkFabric", "NetworkModel", "FpgaNode",
+    "HardwareMicroservice", "InvocationResult", "MicroserviceRegistry",
+    "ServiceError",
     "FaultInjector", "FaultProfile", "FaultSample", "InvocationOutcome",
     "ResilientClient", "RetryPolicy",
     "BidirectionalRnnService", "CpuStage", "FederatedRuntime",
     "FpgaStage", "PlanResult", "Batch1Server", "BatchingServer",
     "FaultEvent", "FaultScenarioResult", "LoadResult", "ServedRequest",
-    "SloComparison", "compare_under_load", "poisson_arrivals",
+    "SloComparison", "bursty_arrivals", "compare_under_load",
+    "diurnal_arrivals", "heavy_tailed_arrivals", "poisson_arrivals",
     "run_fault_scenario", "uniform_arrivals",
+    "BrownoutPolicy", "ClusterError", "ClusterEvent", "ClusterResult",
+    "ClusterSimulator", "ClusterSpec", "PhiAccrualDetector",
+    "TokenBucket",
+    "ChaosScenario", "CorrelatedFaultInjector", "RepairDistribution",
+    "SCENARIOS", "chaos_suite", "run_chaos_scenario",
 ]

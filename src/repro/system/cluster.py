@@ -1,0 +1,730 @@
+"""Cluster-scale serving: failure domains, detection, degradation.
+
+The paper's deployment is not one FPGA but pools of hundreds of
+Brainwave nodes serving many models at datacenter scale, where
+correlated failures (rack power, TOR switches), overload, and slow
+nodes are the norm.  This module scales :mod:`repro.system` from the
+handful-of-replicas registry to that setting: a seeded discrete-event
+simulator of racks -> nodes -> replicas with *failure domains*, plus
+the robustness machinery a real fleet needs to stay available while
+things break underneath it:
+
+* :class:`PhiAccrualDetector` — a heartbeat-based failure detector.
+  Suspicion (phi) grows with the time since a node's last heartbeat;
+  past a threshold the node is *evicted* from routing, and it is
+  *readmitted* at the first heartbeat after repair.  This replaces
+  per-request consecutive-failure circuit breaking at cluster scope:
+  detection happens on the control plane, not by burning requests.
+* Domain-aware routing — ``p2c`` (power-of-two-choices),
+  ``least_loaded``, and ``random`` policies over the detector's view
+  of live nodes, so traffic avoids suspected/failed domains.
+* Graceful degradation under overload — :class:`TokenBucket` admission
+  control, deadline-aware load shedding from bounded per-replica
+  queues, and optional :class:`BrownoutPolicy` fallback to a degraded
+  CPU path (the federated escape hatch of
+  :class:`~repro.system.runtime.FpgaStage`).
+
+Simulated time is seconds, as in the rest of the serving layer.  All
+randomness comes from one ``numpy`` generator whose draws are
+pre-vectorized per run, so a fixed seed reproduces bit-identical
+results request for request — the chaos benchmarks and the CI smoke
+gate rely on it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..obs import Metrics, Tracer, or_null, or_null_metrics, \
+    percentile_or_nan
+from .network import NetworkFabric, NetworkModel
+from .runtime import DEFAULT_CPU_FALLBACK_LATENCY_S
+
+_LN10 = math.log(10.0)
+
+#: Per-request outcome codes (:attr:`ClusterResult.status` values).
+#: Client-timeout semantics are uniform: a request whose response lands
+#: past the SLO deadline is a ``TIMEOUT`` — the client hung up, the
+#: server time was wasted. Only ``SERVED``/``BROWNOUT`` responses count
+#: toward availability.
+SERVED = 0           #: completed on an FPGA node within the deadline
+BROWNOUT = 1         #: completed on the degraded CPU path in time
+SHED_ADMISSION = 2   #: rejected by token-bucket admission control
+SHED_DEADLINE = 3    #: shed: queue full or predicted deadline violation
+FAILED = 4           #: sent to a dead/partitioned node, no retry left
+TIMEOUT = 5          #: completed, but past the deadline (wasted work)
+
+STATUS_NAMES = {SERVED: "served", BROWNOUT: "brownout",
+                SHED_ADMISSION: "shed_admission",
+                SHED_DEADLINE: "shed_deadline", FAILED: "failed",
+                TIMEOUT: "timeout"}
+
+
+class ClusterError(ReproError):
+    """Invalid cluster topology, policy, or scenario parameters."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterSpec:
+    """Topology and per-node service model of one cluster.
+
+    Nodes are numbered ``0 .. racks*nodes_per_rack-1``; node ``i``
+    lives in rack ``i // nodes_per_rack`` — the rack is the failure
+    domain for correlated faults (rack power, TOR switch).
+    """
+
+    racks: int = 4
+    nodes_per_rack: int = 6
+    #: Base per-request service time of one node (seconds).
+    service_time_s: float = 1e-3
+    #: Bounded per-replica queue: requests admitted while the backlog
+    #: exceeds ``queue_depth`` service times are shed.
+    queue_depth: int = 16
+    #: Request SLO deadline (seconds).
+    deadline_s: float = 20e-3
+    #: Heartbeat period of the failure detector (seconds).
+    heartbeat_interval_s: float = 10e-3
+    network: NetworkModel = dataclasses.field(default_factory=NetworkModel)
+    #: Request/response payload on the wire (bytes, one way).
+    payload_bytes: float = 2048.0
+
+    def __post_init__(self) -> None:
+        if self.racks < 1 or self.nodes_per_rack < 1:
+            raise ClusterError(
+                f"racks={self.racks}, nodes_per_rack="
+                f"{self.nodes_per_rack}: both must be >= 1")
+        if self.service_time_s <= 0:
+            raise ClusterError("service_time_s must be positive")
+        if self.queue_depth < 1:
+            raise ClusterError("queue_depth must be >= 1")
+        if self.deadline_s <= 0:
+            raise ClusterError("deadline_s must be positive")
+        if self.heartbeat_interval_s <= 0:
+            raise ClusterError("heartbeat_interval_s must be positive")
+        if self.payload_bytes < 0:
+            raise ClusterError("payload_bytes must be >= 0")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.racks * self.nodes_per_rack
+
+    def rack_of(self, node: int) -> int:
+        if not 0 <= node < self.num_nodes:
+            raise ClusterError(
+                f"node {node} outside 0..{self.num_nodes - 1}")
+        return node // self.nodes_per_rack
+
+    def nodes_in_rack(self, rack: int) -> range:
+        if not 0 <= rack < self.racks:
+            raise ClusterError(f"rack {rack} outside 0..{self.racks - 1}")
+        return range(rack * self.nodes_per_rack,
+                     (rack + 1) * self.nodes_per_rack)
+
+    @property
+    def capacity_rps(self) -> float:
+        """Aggregate fault-free throughput ceiling."""
+        return self.num_nodes / self.service_time_s
+
+
+@dataclasses.dataclass(frozen=True)
+class TokenBucket:
+    """Token-bucket admission control (one token per request)."""
+
+    rate_rps: float
+    burst: float = 32.0
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ClusterError("admission rate_rps must be positive")
+        if self.burst < 1:
+            raise ClusterError("admission burst must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class BrownoutPolicy:
+    """Degraded CPU path for requests the FPGA pool cannot take.
+
+    Mirrors the federated runtime's per-stage CPU fallback
+    (:class:`~repro.system.runtime.FpgaStage`): instead of shedding, a
+    request completes at an honestly-accounted (much slower) CPU
+    latency.  ``max_concurrent`` bounds the CPU pool — beyond it,
+    requests are shed as usual.
+    """
+
+    cpu_latency_s: float = DEFAULT_CPU_FALLBACK_LATENCY_S
+    max_concurrent: int = 64
+
+    def __post_init__(self) -> None:
+        if self.cpu_latency_s <= 0:
+            raise ClusterError("brownout cpu_latency_s must be positive")
+        if self.max_concurrent < 1:
+            raise ClusterError("brownout max_concurrent must be >= 1")
+
+
+class PhiAccrualDetector:
+    """Phi-accrual-style failure detector over periodic heartbeats.
+
+    Every node emits a heartbeat each ``heartbeat_interval_s`` while it
+    is up and reachable.  Suspicion of a node at time ``t`` is::
+
+        phi(t) = (t - last_heartbeat) / (interval * ln 10)
+
+    i.e. the negative log10 tail probability of the gap under an
+    exponential model with the heartbeat interval as its mean.  A node
+    whose phi crosses ``threshold`` is **evicted** from routing; it is
+    **readmitted** at its first heartbeat after recovery.  Both edges
+    are deterministic functions of the silence/resume instants, so the
+    simulator schedules them as discrete events instead of polling.
+    """
+
+    def __init__(self, spec: ClusterSpec, threshold: float = 8.0,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[Metrics] = None):
+        if threshold <= 0:
+            raise ClusterError("detector threshold must be positive")
+        self.spec = spec
+        self.threshold = threshold
+        self.tracer = or_null(tracer)
+        self.metrics = or_null_metrics(metrics)
+        #: Time each node stopped heartbeating (``None`` = healthy).
+        self._silenced: Dict[int, float] = {}
+        self.evicted: set = set()
+        #: ``(time_s, "evict" | "readmit", node)`` transition log.
+        self.transitions: List[Tuple[float, str, int]] = []
+
+    def last_heartbeat(self, node: int, now: float) -> float:
+        """The newest heartbeat from ``node`` observed by ``now``."""
+        interval = self.spec.heartbeat_interval_s
+        alive_until = min(now, self._silenced.get(node, now))
+        return math.floor(alive_until / interval) * interval
+
+    def phi(self, node: int, now: float) -> float:
+        """Current suspicion level of ``node``."""
+        gap = now - self.last_heartbeat(node, now)
+        return gap / (self.spec.heartbeat_interval_s * _LN10)
+
+    def suspect_time(self, silenced_at: float) -> float:
+        """When phi crosses the threshold for a node silenced then."""
+        interval = self.spec.heartbeat_interval_s
+        last = math.floor(silenced_at / interval) * interval
+        return last + self.threshold * interval * _LN10
+
+    def silence(self, node: int, now: float) -> Optional[float]:
+        """Node stopped heartbeating (crash/partition); returns the
+        future eviction time, or ``None`` if already silenced."""
+        if node in self._silenced:
+            return None
+        self._silenced[node] = now
+        return self.suspect_time(now)
+
+    def resume(self, node: int, now: float) -> Optional[float]:
+        """Node heartbeats again (repair/heal); returns the readmission
+        time (its next heartbeat), or ``None`` if it was not silenced."""
+        if node not in self._silenced:
+            return None
+        del self._silenced[node]
+        interval = self.spec.heartbeat_interval_s
+        return math.ceil(now / interval) * interval
+
+    def evict(self, node: int, now: float) -> bool:
+        """Apply a scheduled eviction (no-op if the node resumed)."""
+        if node not in self._silenced or node in self.evicted:
+            return False
+        self.evicted.add(node)
+        self.transitions.append((now, "evict", node))
+        self.tracer.instant("detector:evict", now, track="detector",
+                            node=node, phi=round(self.phi(node, now), 3))
+        self.metrics.counter("cluster.detector.evictions").inc()
+        return True
+
+    def readmit(self, node: int, now: float) -> bool:
+        """Apply a scheduled readmission (no-op unless evicted)."""
+        if node in self._silenced or node not in self.evicted:
+            return False
+        self.evicted.discard(node)
+        self.transitions.append((now, "readmit", node))
+        self.tracer.instant("detector:readmit", now, track="detector",
+                            node=node)
+        self.metrics.counter("cluster.detector.readmissions").inc()
+        return True
+
+
+_EVENT_ACTIONS = ("crash", "repair", "rack_down", "rack_up",
+                  "partition", "heal", "slow", "unslow")
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class ClusterEvent:
+    """One scheduled cluster state change.
+
+    ``target`` is a node index for node-scoped actions (``crash``,
+    ``repair``, ``slow``, ``unslow``) and a rack index for
+    domain-scoped ones (``rack_down``, ``rack_up``, ``partition``,
+    ``heal``).  ``value`` is the slowdown multiplier for ``slow``.
+    """
+
+    time_s: float
+    action: str
+    target: int
+    value: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.action not in _EVENT_ACTIONS:
+            raise ClusterError(
+                f"unknown cluster event action {self.action!r}; "
+                f"one of {_EVENT_ACTIONS}")
+        if self.time_s < 0:
+            raise ClusterError("event time_s must be >= 0")
+        if self.action == "slow" and self.value < 1.0:
+            raise ClusterError("slow multiplier must be >= 1")
+
+
+@dataclasses.dataclass
+class ClusterResult:
+    """Per-request outcomes and summary statistics of one run.
+
+    Percentiles follow NaN-with-flag semantics: when there are no
+    served requests (``has_latencies`` is ``False``) they return
+    ``nan`` rather than raising or reporting a misleading ``0.0``.
+    """
+
+    spec: ClusterSpec
+    arrivals: np.ndarray
+    #: Per-request outcome code (``SERVED`` ... ``FAILED``).
+    status: np.ndarray
+    #: End-to-end latency (seconds); ``nan`` for non-completed requests.
+    latency_s: np.ndarray
+    #: Applied control events, including detector evict/readmit edges.
+    event_log: List[Tuple[float, str, int]]
+    detector_transitions: List[Tuple[float, str, int]]
+
+    @property
+    def total(self) -> int:
+        return int(self.status.size)
+
+    @property
+    def empty(self) -> bool:
+        return self.total == 0
+
+    def count(self, code: int) -> int:
+        return int(np.count_nonzero(self.status == code))
+
+    @property
+    def served(self) -> int:
+        """Requests answered within the deadline (FPGA or brownout)."""
+        return self.count(SERVED) + self.count(BROWNOUT)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests answered within the SLO deadline —
+        the tail-latency-bound product metric; ``nan`` when the run is
+        empty (see :attr:`empty`)."""
+        if self.empty:
+            return float("nan")
+        return self.served / self.total
+
+    @property
+    def shed(self) -> int:
+        return self.count(SHED_ADMISSION) + self.count(SHED_DEADLINE)
+
+    @property
+    def failed(self) -> int:
+        return self.count(FAILED)
+
+    @property
+    def has_latencies(self) -> bool:
+        """At least one request completed — latency percentiles are
+        real numbers rather than ``nan``."""
+        return bool(np.isfinite(self.latency_s).any())
+
+    @property
+    def deadline_met(self) -> int:
+        return self.served
+
+    @property
+    def deadline_violations(self) -> int:
+        """Completed requests that finished past the SLO deadline —
+        wasted server work the client never saw."""
+        return self.count(TIMEOUT)
+
+    @property
+    def span_s(self) -> float:
+        if self.empty:
+            return float("nan")
+        finite = np.isfinite(self.latency_s)
+        last = float(self.arrivals[-1])
+        if finite.any():
+            last = max(last, float(
+                (self.arrivals[finite] + self.latency_s[finite]).max()))
+        return last - float(self.arrivals[0])
+
+    @property
+    def goodput_rps(self) -> float:
+        """Deadline-met completions per second of simulated time."""
+        span = self.span_s
+        if not span or math.isnan(span):
+            return float("nan")
+        return self.deadline_met / span
+
+    def percentile_latency_ms(self, q: float) -> float:
+        """Latency percentile over completed requests (ms); ``nan``
+        when nothing completed (``has_latencies`` flags it)."""
+        samples = self.latency_s[np.isfinite(self.latency_s)]
+        return percentile_or_nan(samples, q) * 1e3
+
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile_latency_ms(50)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile_latency_ms(99)
+
+    @property
+    def p999_ms(self) -> float:
+        return self.percentile_latency_ms(99.9)
+
+    def counts(self) -> Dict[str, int]:
+        return {name: self.count(code)
+                for code, name in STATUS_NAMES.items()}
+
+    def render(self) -> str:
+        avail = self.availability
+        lines = [
+            f"cluster: {self.spec.racks} racks x "
+            f"{self.spec.nodes_per_rack} nodes, "
+            f"{self.total} requests over {self.span_s:.2f} s",
+            f"  availability: "
+            + ("n/a" if math.isnan(avail) else f"{100 * avail:.3f}%")
+            + f"  goodput {self.goodput_rps:.0f}/s"
+            f"  deadline violations {self.deadline_violations}",
+            "  outcomes: " + "  ".join(
+                f"{name}={n}" for name, n in self.counts().items() if n),
+            f"  latency ms: p50 {self.p50_ms:.2f}  "
+            f"p99 {self.p99_ms:.2f}  p99.9 {self.p999_ms:.2f}",
+            f"  detector: {len(self.detector_transitions)} transitions",
+        ]
+        return "\n".join(lines)
+
+
+_ROUTERS = ("p2c", "least_loaded", "random")
+
+
+class ClusterSimulator:
+    """Discrete-event simulator of one cluster under load and faults.
+
+    The event heap carries control-plane changes (crashes, repairs,
+    rack/TOR outages, partitions, slow-node onsets, detector
+    evict/readmit edges); the data plane processes the open-loop
+    arrival trace in time order between them.  Per-request work is
+    O(1) for ``p2c``/``random`` routing (O(nodes) for
+    ``least_loaded``), with all per-request randomness pre-drawn as
+    vectorized ``numpy`` arrays, so million-request traces run in
+    seconds and are bit-deterministic per seed.
+
+    Ground truth (which nodes are actually up/reachable) is separate
+    from the router's view (the failure detector's eviction set): in
+    the detection window after a fault, traffic still lands on dead
+    nodes and fails — exactly the availability gap the detector closes.
+    """
+
+    def __init__(self, spec: Optional[ClusterSpec] = None,
+                 router: str = "p2c",
+                 admission: Optional[TokenBucket] = None,
+                 brownout: Optional[BrownoutPolicy] = None,
+                 detector_threshold: Optional[float] = 8.0,
+                 shed_on_deadline: bool = True,
+                 retries: int = 1,
+                 seed: int = 0,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[Metrics] = None):
+        """``detector_threshold=None`` disables failure detection (the
+        router keeps sending to dead nodes); ``admission=None`` and
+        ``brownout=None`` disable those mitigations; ``retries`` is the
+        number of immediate failovers after landing on a dead node."""
+        if router not in _ROUTERS:
+            raise ClusterError(
+                f"unknown router {router!r}; one of {_ROUTERS}")
+        if retries < 0:
+            raise ClusterError("retries must be >= 0")
+        self.spec = spec if spec is not None else ClusterSpec()
+        self.router = router
+        self.admission = admission
+        self.brownout = brownout
+        self.shed_on_deadline = shed_on_deadline
+        self.retries = retries
+        self.seed = seed
+        self.tracer = or_null(tracer)
+        self.metrics = or_null_metrics(metrics)
+        self.detector = (PhiAccrualDetector(
+            self.spec, detector_threshold, tracer=self.tracer,
+            metrics=self.metrics)
+            if detector_threshold is not None else None)
+        self.fabric = NetworkFabric(self.spec.network)
+
+    # -- state helpers ----------------------------------------------------
+
+    def _rebuild_view(self) -> None:
+        """Recompute the router's candidate list (cheap: state changes
+        only at control events, never per request)."""
+        evicted = self.detector.evicted if self.detector else ()
+        self._view = [i for i in range(self.spec.num_nodes)
+                      if i not in evicted]
+
+    def _alive(self, node: int) -> bool:
+        return self._up[node] and self.fabric.connected(
+            "frontend", f"rack{self.spec.rack_of(node)}")
+
+    def _partitioned(self, rack: int) -> bool:
+        return rack in self._cut_racks
+
+    def _silence(self, node: int, now: float, heap, seq) -> None:
+        if self.detector is None:
+            return
+        at = self.detector.silence(node, now)
+        if at is not None:
+            heapq.heappush(heap, (at, next(seq), "_evict", node, 0.0))
+
+    def _resume(self, node: int, now: float, heap, seq) -> None:
+        if self.detector is None:
+            return
+        at = self.detector.resume(node, now)
+        if at is not None:
+            heapq.heappush(heap, (at, next(seq), "_readmit", node, 0.0))
+
+    def _apply(self, when: float, action: str, target: int,
+               value: float, heap, seq) -> None:
+        """Apply one control event at simulated time ``when``."""
+        spec = self.spec
+        log = self._event_log
+        if action == "crash":
+            if self._up[target]:
+                self._up[target] = False
+                self._silence(target, when, heap, seq)
+        elif action == "repair":
+            if not self._up[target]:
+                self._up[target] = True
+                # Queued work on a crashed node is lost with it.
+                self._free_at[target] = when
+                if self._alive(target):
+                    self._resume(target, when, heap, seq)
+        elif action == "rack_down":
+            for node in spec.nodes_in_rack(target):
+                if self._up[node]:
+                    self._up[node] = False
+                    self._silence(node, when, heap, seq)
+        elif action == "rack_up":
+            for node in spec.nodes_in_rack(target):
+                if not self._up[node]:
+                    self._up[node] = True
+                    self._free_at[node] = when
+                    if self._alive(node):
+                        self._resume(node, when, heap, seq)
+        elif action == "partition":
+            self.fabric.cut("frontend", f"rack{target}")
+            self._cut_racks.add(target)
+            for node in spec.nodes_in_rack(target):
+                if self._up[node]:
+                    self._silence(node, when, heap, seq)
+        elif action == "heal":
+            self.fabric.heal("frontend", f"rack{target}")
+            self._cut_racks.discard(target)
+            for node in spec.nodes_in_rack(target):
+                if self._up[node]:
+                    # Queued work stranded behind the partition is lost.
+                    self._free_at[node] = when
+                    self._resume(node, when, heap, seq)
+        elif action == "slow":
+            self._slow[target] = value
+        elif action == "unslow":
+            self._slow[target] = 1.0
+        elif action == "_evict":
+            if not (self.detector.evict(target, when)):
+                return
+        elif action == "_readmit":
+            if not (self.detector.readmit(target, when)):
+                return
+        else:  # pragma: no cover - actions validated at construction
+            raise ClusterError(f"unknown event action {action!r}")
+        log.append((when, action.lstrip("_"), target))
+        self.tracer.instant(f"cluster:{action.lstrip('_')}", when,
+                            track="cluster", target=target)
+        self._rebuild_view()
+
+    # -- the run ----------------------------------------------------------
+
+    def run(self, arrivals: Sequence[float],
+            events: Sequence[ClusterEvent] = ()) -> ClusterResult:
+        """Drive ``arrivals`` (sorted seconds) through the cluster."""
+        spec = self.spec
+        arrivals = np.ascontiguousarray(arrivals, dtype=np.float64)
+        if arrivals.size and np.any(np.diff(arrivals) < 0):
+            raise ClusterError("arrivals must be sorted")
+        n = int(arrivals.size)
+
+        # Pre-vectorized load generation: every per-request random draw
+        # for the whole run happens here, in two numpy calls — the hot
+        # loop below only indexes. This is what keeps 1e6+ requests
+        # fast *and* bit-deterministic per seed.
+        rng = np.random.default_rng(self.seed)
+        route_u = rng.random((2, max(n, 1)))
+        choice1 = route_u[0]
+        choice2 = route_u[1]
+
+        self._up = [True] * spec.num_nodes
+        self._slow = [1.0] * spec.num_nodes
+        self._free_at = [0.0] * spec.num_nodes
+        self._cut_racks: set = set()
+        self._event_log: List[Tuple[float, str, int]] = []
+        self.fabric.heal_all()
+        self._rebuild_view()
+
+        seq = iter(range(1 << 62))
+        heap: List[Tuple[float, int, str, int, float]] = []
+        for ev in events:
+            heapq.heappush(heap, (ev.time_s, next(seq), ev.action,
+                                  ev.target, ev.value))
+
+        status = np.full(n, FAILED, dtype=np.uint8)
+        latency = np.full(n, np.nan, dtype=np.float64)
+
+        # Hot-loop locals (attribute lookups hoisted out of the loop).
+        service_s = spec.service_time_s
+        deadline_s = spec.deadline_s
+        queue_s = spec.queue_depth * service_s
+        net_s = 2e-6 * spec.network.transfer_us(spec.payload_bytes)
+        free_at = self._free_at
+        slow = self._slow
+        up = self._up
+        least_loaded = self.router == "least_loaded"
+        random_router = self.router == "random"
+        retries = self.retries
+        admission = self.admission
+        tokens = admission.burst if admission else 0.0
+        tok_rate = admission.rate_rps if admission else 0.0
+        tok_burst = admission.burst if admission else 0.0
+        last_t = float(arrivals[0]) if n else 0.0
+        brownout = self.brownout
+        cpu_free: List[float] = []
+        if brownout is not None:
+            cpu_free = [0.0] * brownout.max_concurrent
+            cpu_latency = brownout.cpu_latency_s
+        shed_on_deadline = self.shed_on_deadline
+        cut_racks = self._cut_racks
+        rack_span = spec.nodes_per_rack
+
+        for i in range(n):
+            t = float(arrivals[i])
+            while heap and heap[0][0] <= t:
+                when, _, action, target, value = heapq.heappop(heap)
+                self._apply(when, action, target, value, heap, seq)
+            view = self._view
+
+            # Admission control: continuous token refill, 1/request.
+            # Rejected requests get the brownout CPU path if it has
+            # room — degrade before turning users away.
+            if admission is not None:
+                tokens = min(tok_burst, tokens + (t - last_t) * tok_rate)
+                last_t = t
+                if tokens < 1.0:
+                    if brownout is not None:
+                        slot = int(choice1[i] * len(cpu_free))
+                        finish = max(t, cpu_free[slot]) + cpu_latency
+                        if finish - t <= deadline_s:
+                            cpu_free[slot] = finish
+                            status[i] = BROWNOUT
+                            latency[i] = finish - t
+                            continue
+                    status[i] = SHED_ADMISSION
+                    continue
+                tokens -= 1.0
+
+            nh = len(view)
+            node = -1
+            if nh:
+                if random_router:
+                    node = view[int(choice1[i] * nh)]
+                elif least_loaded:
+                    backlog = [free_at[j] for j in view]
+                    node = view[min(range(nh),
+                                    key=backlog.__getitem__)]
+                else:  # p2c
+                    a = view[int(choice1[i] * nh)]
+                    b = view[int(choice2[i] * nh)]
+                    node = a if free_at[a] <= free_at[b] else b
+                # Failover: in the detection window after a fault the
+                # router's view still contains dead nodes; one retry on
+                # the alternate candidate is the client-side hedge.
+                if not up[node] or node // rack_span in cut_racks:
+                    node = -1 if retries < 1 else \
+                        view[int(choice2[i] * nh)]
+                    if node >= 0 and (not up[node]
+                                      or node // rack_span in cut_racks):
+                        node = -1
+
+            if node < 0:
+                # No live candidate: brownout if possible, else fail.
+                if brownout is not None:
+                    slot = int(choice1[i] * len(cpu_free))
+                    finish = max(t, cpu_free[slot]) + cpu_latency
+                    if finish - t <= deadline_s:
+                        cpu_free[slot] = finish
+                        status[i] = BROWNOUT
+                        latency[i] = finish - t
+                        continue
+                status[i] = FAILED
+                continue
+
+            wait = free_at[node] - t
+            if wait < 0.0:
+                wait = 0.0
+            service = service_s * slow[node]
+            predicted = wait + service + net_s
+            if shed_on_deadline and (wait > queue_s
+                                     or predicted > deadline_s):
+                # Bounded queue / deadline-aware shedding: don't burn
+                # server time on a request that cannot meet its SLO.
+                # The ablated stack skips this — it queues without
+                # backpressure and lets clients time out instead.
+                if brownout is not None:
+                    slot = int(choice2[i] * len(cpu_free))
+                    finish = max(t, cpu_free[slot]) + cpu_latency
+                    if finish - t <= deadline_s:
+                        cpu_free[slot] = finish
+                        status[i] = BROWNOUT
+                        latency[i] = finish - t
+                        continue
+                status[i] = SHED_DEADLINE
+                continue
+            free_at[node] = t + wait + service
+            latency[i] = predicted
+            status[i] = SERVED if predicted <= deadline_s else TIMEOUT
+
+        # Drain any control events past the last arrival so the event
+        # log reflects the full scenario timeline.
+        while heap:
+            when, _, action, target, value = heapq.heappop(heap)
+            self._apply(when, action, target, value, heap, seq)
+
+        m = self.metrics
+        for code, name in STATUS_NAMES.items():
+            count = int(np.count_nonzero(status == code))
+            if count:
+                m.counter(f"cluster.requests.{name}").inc(count)
+        finite = np.isfinite(latency)
+        if finite.any():
+            m.counter("cluster.deadline_violations").inc(
+                int(np.count_nonzero(
+                    latency[finite] > deadline_s)))
+
+        return ClusterResult(
+            spec=spec, arrivals=arrivals, status=status,
+            latency_s=latency, event_log=list(self._event_log),
+            detector_transitions=list(
+                self.detector.transitions if self.detector else []))

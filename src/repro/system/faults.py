@@ -178,11 +178,28 @@ class RetryPolicy:
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
-            raise ConfigError("max_attempts must be >= 1")
+            raise ConfigError(
+                f"max_attempts={self.max_attempts} must be >= 1 "
+                "(1 means no retries)")
         if self.deadline_s <= 0:
-            raise ConfigError("deadline_s must be positive")
+            raise ConfigError(
+                f"deadline_s={self.deadline_s} must be positive — a "
+                "zero deadline fails every request before its first "
+                "attempt")
+        if self.base_backoff_s < 0:
+            raise ConfigError(
+                f"base_backoff_s={self.base_backoff_s} must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError(
+                f"backoff_multiplier={self.backoff_multiplier} must be "
+                ">= 1 (shrinking backoff would hammer failing replicas)")
         if not 0.0 <= self.jitter_frac <= 1.0:
-            raise ConfigError("jitter_frac must be in [0, 1]")
+            raise ConfigError(
+                f"jitter_frac={self.jitter_frac} must be in [0, 1]")
+        if self.hedge_after_s is not None and self.hedge_after_s <= 0:
+            raise ConfigError(
+                f"hedge_after_s={self.hedge_after_s} must be positive "
+                "(or None to disable hedging)")
 
 
 @dataclasses.dataclass(frozen=True)

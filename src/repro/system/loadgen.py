@@ -26,7 +26,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..errors import ReproError
-from ..obs import Metrics, Tracer, or_null, or_null_metrics, percentile
+from ..obs import Metrics, Tracer, or_null, or_null_metrics, \
+    percentile_or_nan
 from .faults import FaultInjector, InvocationOutcome, ResilientClient
 
 
@@ -53,16 +54,25 @@ class ServedRequest:
 
 @dataclasses.dataclass(frozen=True)
 class LoadResult:
-    """Latency statistics of one simulation."""
+    """Latency statistics of one simulation.
+
+    Degenerate (empty) result sets follow NaN-with-flag semantics:
+    :attr:`empty` is the flag, and every statistic returns ``nan``
+    instead of raising or reporting a misleading ``0.0``.
+    """
 
     requests: List[ServedRequest]
 
+    @property
+    def empty(self) -> bool:
+        """No requests were served — every statistic below is ``nan``."""
+        return not self.requests
+
     def percentile_latency(self, q: float) -> float:
         """Latency percentile (seconds) via the shared
-        :func:`repro.obs.percentile` helper."""
-        if not self.requests:
-            raise LoadError("no requests served")
-        return percentile([r.latency for r in self.requests], q)
+        :func:`repro.obs.percentile_or_nan` helper; ``nan`` when
+        :attr:`empty`."""
+        return percentile_or_nan([r.latency for r in self.requests], q)
 
     @property
     def p50_ms(self) -> float:
@@ -74,10 +84,14 @@ class LoadResult:
 
     @property
     def mean_ms(self) -> float:
+        if self.empty:
+            return float("nan")
         return 1e3 * float(np.mean([r.latency for r in self.requests]))
 
     @property
     def throughput_rps(self) -> float:
+        if self.empty:
+            return float("nan")
         span = self.requests[-1].finish - self.requests[0].arrival
         return len(self.requests) / span if span > 0 else float("inf")
 
@@ -97,6 +111,104 @@ def uniform_arrivals(rate_rps: float, count: int) -> List[float]:
     if rate_rps <= 0 or count < 1:
         raise LoadError("rate and count must be positive")
     return [(i + 1) / rate_rps for i in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# Open-loop arrival traces (vectorized)
+#
+# The cluster/chaos simulations drive 1e6+ simulated requests, so trace
+# synthesis is fully vectorized: each generator is a handful of numpy
+# calls with no per-request Python work, seeded for bit-determinism.
+# Non-homogeneous processes use Lewis-Shedler thinning of a homogeneous
+# Poisson process at the peak rate.
+# ---------------------------------------------------------------------------
+
+def _homogeneous_times(rate_rps: float, duration_s: float,
+                       rng: np.random.Generator) -> np.ndarray:
+    """Event times of a homogeneous Poisson process over a duration."""
+    times: List[np.ndarray] = []
+    t = 0.0
+    # Over-draw ~10% past the expected count, looping in the (rare)
+    # case the trace still falls short of the duration.
+    chunk = max(int(rate_rps * duration_s * 1.1) + 16, 64)
+    while t < duration_s:
+        gaps = rng.exponential(1.0 / rate_rps, chunk)
+        block = t + np.cumsum(gaps)
+        times.append(block)
+        t = float(block[-1])
+    all_times = np.concatenate(times)
+    return all_times[all_times < duration_s]
+
+
+def diurnal_arrivals(base_rate_rps: float, peak_rate_rps: float,
+                     duration_s: float, period_s: float = 86400.0,
+                     seed: int = 0) -> np.ndarray:
+    """Sinusoidal diurnal traffic: rate swings ``base`` -> ``peak`` ->
+    ``base`` over each ``period_s`` (trough at t=0, peak at half
+    period)."""
+    if base_rate_rps <= 0 or peak_rate_rps < base_rate_rps:
+        raise LoadError(
+            f"need 0 < base_rate ({base_rate_rps}) <= peak_rate "
+            f"({peak_rate_rps})")
+    if duration_s <= 0 or period_s <= 0:
+        raise LoadError("duration and period must be positive")
+    rng = np.random.default_rng(seed)
+    t = _homogeneous_times(peak_rate_rps, duration_s, rng)
+    rate_t = base_rate_rps + (peak_rate_rps - base_rate_rps) * 0.5 * (
+        1.0 - np.cos(2.0 * np.pi * t / period_s))
+    keep = rng.random(t.size) < rate_t / peak_rate_rps
+    return t[keep]
+
+
+def bursty_arrivals(base_rate_rps: float, burst_rate_rps: float,
+                    duration_s: float, mean_quiet_s: float = 1.0,
+                    mean_burst_s: float = 0.2,
+                    seed: int = 0) -> np.ndarray:
+    """Markov-modulated (two-state) traffic: exponential quiet/burst
+    sojourns alternate, with Poisson arrivals at the state's rate."""
+    if base_rate_rps <= 0 or burst_rate_rps < base_rate_rps:
+        raise LoadError(
+            f"need 0 < base_rate ({base_rate_rps}) <= burst_rate "
+            f"({burst_rate_rps})")
+    if duration_s <= 0 or mean_quiet_s <= 0 or mean_burst_s <= 0:
+        raise LoadError("duration and sojourn means must be positive")
+    rng = np.random.default_rng(seed)
+    # Draw alternating sojourn boundaries well past the duration.
+    cycle = mean_quiet_s + mean_burst_s
+    n_cycles = max(int(duration_s / cycle * 2) + 8, 8)
+    quiet = rng.exponential(mean_quiet_s, n_cycles)
+    burst = rng.exponential(mean_burst_s, n_cycles)
+    while float(np.sum(quiet) + np.sum(burst)) < duration_s:
+        quiet = np.concatenate([quiet,
+                                rng.exponential(mean_quiet_s, n_cycles)])
+        burst = np.concatenate([burst,
+                                rng.exponential(mean_burst_s, n_cycles)])
+    bounds = np.cumsum(np.stack([quiet[:len(burst)], burst],
+                                axis=1).ravel())
+    t = _homogeneous_times(burst_rate_rps, duration_s, rng)
+    # Even segment index (0, 2, ...) = quiet state, odd = burst.
+    in_burst = (np.searchsorted(bounds, t, side="right") % 2) == 1
+    rate_t = np.where(in_burst, burst_rate_rps, base_rate_rps)
+    keep = rng.random(t.size) < rate_t / burst_rate_rps
+    return t[keep]
+
+
+def heavy_tailed_arrivals(rate_rps: float, count: int,
+                          alpha: float = 1.5,
+                          seed: int = 0) -> np.ndarray:
+    """Pareto inter-arrival gaps with tail index ``alpha`` (heavier as
+    ``alpha`` -> 1) and mean gap ``1/rate_rps``: long silences broken
+    by dense request clumps."""
+    if rate_rps <= 0 or count < 1:
+        raise LoadError("rate and count must be positive")
+    if alpha <= 1.0:
+        raise LoadError(
+            f"alpha={alpha} needs alpha > 1 for a finite mean gap")
+    rng = np.random.default_rng(seed)
+    scale = (alpha - 1.0) / alpha / rate_rps  # Pareto x_m for the mean
+    # 1-U maps [0,1) to (0,1], keeping the inverse CDF finite.
+    gaps = scale * (1.0 - rng.random(count)) ** (-1.0 / alpha)
+    return np.cumsum(gaps)
 
 
 class Batch1Server:
@@ -211,6 +323,11 @@ class FaultScenarioResult:
         return len(self.outcomes)
 
     @property
+    def empty(self) -> bool:
+        """No requests were issued — rate/latency statistics are ``nan``."""
+        return not self.outcomes
+
+    @property
     def served(self) -> int:
         return sum(1 for o in self.outcomes if o.ok)
 
@@ -219,10 +336,17 @@ class FaultScenarioResult:
         return self.total - self.served
 
     @property
+    def has_successes(self) -> bool:
+        """At least one request succeeded — latency percentiles are
+        real numbers rather than ``nan``."""
+        return any(o.ok for o in self.outcomes)
+
+    @property
     def availability(self) -> float:
-        """Fraction of requests that produced a result at all."""
+        """Fraction of requests that produced a result at all; ``nan``
+        for an empty scenario (see :attr:`empty`)."""
         if not self.outcomes:
-            raise LoadError("no requests issued")
+            return float("nan")
         return self.served / self.total
 
     @property
@@ -231,26 +355,28 @@ class FaultScenarioResult:
 
     @property
     def goodput_rps(self) -> float:
-        """Deadline-met completions per second of scenario time."""
+        """Deadline-met completions per second of scenario time;
+        ``nan`` for an empty scenario."""
         span = self.span_s
+        if np.isnan(span):
+            return float("nan")
         return self.slo_met / span if span > 0 else float("inf")
 
     @property
     def span_s(self) -> float:
-        """First arrival to last finish (seconds)."""
+        """First arrival to last finish (seconds); ``nan`` when empty."""
         if not self.outcomes:
-            raise LoadError("no requests issued")
+            return float("nan")
         last_finish = max(a + o.latency_s
                           for a, o in zip(self.arrivals, self.outcomes))
         return last_finish - self.arrivals[0]
 
     def percentile_latency_ms(self, q: float) -> float:
         """Latency percentile over *successful* requests (ms), via the
-        shared :func:`repro.obs.percentile` helper."""
+        shared :func:`repro.obs.percentile_or_nan` helper; ``nan`` when
+        every request failed (:attr:`has_successes` is the flag)."""
         lat = [o.latency_s for o in self.outcomes if o.ok]
-        if not lat:
-            raise LoadError("no successful requests")
-        return percentile(lat, q) * 1e3
+        return percentile_or_nan(lat, q) * 1e3
 
     @property
     def p50_ms(self) -> float:
@@ -266,6 +392,8 @@ class FaultScenarioResult:
 
     @property
     def mean_attempts(self) -> float:
+        if not self.outcomes:
+            return float("nan")
         return float(np.mean([o.attempts for o in self.outcomes]))
 
     @property

@@ -30,6 +30,14 @@ class RuntimeError_(ReproError):
     """Execution-plan failure."""
 
 
+#: Modeled latency of completing one FPGA-sized request on a CPU —
+#: the federated escape hatch (:class:`FpgaStage.fallback`) and the
+#: cluster simulator's brownout path
+#: (:class:`~repro.system.cluster.BrownoutPolicy`) share this default,
+#: deliberately far slower than the accelerator it stands in for.
+DEFAULT_CPU_FALLBACK_LATENCY_S = 5e-3
+
+
 @dataclasses.dataclass(frozen=True)
 class CpuStage:
     """A CPU sub-graph: a callable over the inter-stage value."""
@@ -64,7 +72,7 @@ class FpgaStage:
     fallback: Optional[Callable] = None
     #: Modeled CPU latency of the fallback (seconds) — deliberately far
     #: slower than the FPGA path it stands in for.
-    fallback_latency_s: float = 5e-3
+    fallback_latency_s: float = DEFAULT_CPU_FALLBACK_LATENCY_S
 
 
 Stage = Union[CpuStage, FpgaStage]

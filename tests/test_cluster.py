@@ -1,0 +1,364 @@
+"""Cluster simulator: failure domains, detection, degradation.
+
+Covers topology/policy validation, the phi-accrual failure detector's
+suspect -> evict -> readmit lifecycle, domain-aware routing, admission
+control, brownout, deadline shedding, client-timeout semantics, and
+bit-determinism under a fixed seed.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.system.cluster import (
+    BROWNOUT,
+    FAILED,
+    SERVED,
+    SHED_ADMISSION,
+    SHED_DEADLINE,
+    TIMEOUT,
+    BrownoutPolicy,
+    ClusterError,
+    ClusterEvent,
+    ClusterSimulator,
+    ClusterSpec,
+    PhiAccrualDetector,
+    TokenBucket,
+)
+
+_LN10 = math.log(10.0)
+
+
+def _spec(**kw):
+    defaults = dict(racks=2, nodes_per_rack=2)
+    defaults.update(kw)
+    return ClusterSpec(**defaults)
+
+
+def _sparse_arrivals(n=40, gap=0.01):
+    """Arrivals far enough apart that queues never build up."""
+    return np.arange(n) * gap
+
+
+class TestClusterSpec:
+    def test_defaults(self):
+        spec = ClusterSpec()
+        assert spec.num_nodes == 24
+        assert spec.capacity_rps == pytest.approx(24_000.0)
+
+    def test_rack_mapping(self):
+        spec = _spec(racks=3, nodes_per_rack=4)
+        assert spec.rack_of(0) == 0
+        assert spec.rack_of(11) == 2
+        assert list(spec.nodes_in_rack(1)) == [4, 5, 6, 7]
+
+    def test_rack_bounds_checked(self):
+        spec = _spec()
+        with pytest.raises(ClusterError):
+            spec.rack_of(spec.num_nodes)
+        with pytest.raises(ClusterError):
+            spec.nodes_in_rack(-1)
+
+    @pytest.mark.parametrize("kw", [
+        dict(racks=0), dict(nodes_per_rack=0),
+        dict(service_time_s=0.0), dict(queue_depth=0),
+        dict(deadline_s=0.0), dict(heartbeat_interval_s=-1.0),
+        dict(payload_bytes=-1.0),
+    ])
+    def test_validation(self, kw):
+        with pytest.raises(ClusterError):
+            _spec(**kw)
+
+    def test_cluster_error_is_repro_error(self):
+        assert issubclass(ClusterError, ReproError)
+
+
+class TestPolicies:
+    def test_token_bucket_validation(self):
+        with pytest.raises(ClusterError):
+            TokenBucket(rate_rps=0.0)
+        with pytest.raises(ClusterError):
+            TokenBucket(rate_rps=100.0, burst=0.5)
+
+    def test_brownout_validation(self):
+        with pytest.raises(ClusterError):
+            BrownoutPolicy(cpu_latency_s=0.0)
+        with pytest.raises(ClusterError):
+            BrownoutPolicy(max_concurrent=0)
+
+    def test_event_validation(self):
+        with pytest.raises(ClusterError):
+            ClusterEvent(0.0, "explode", 0)
+        with pytest.raises(ClusterError):
+            ClusterEvent(-1.0, "crash", 0)
+        with pytest.raises(ClusterError):
+            ClusterEvent(0.0, "slow", 0, value=0.5)
+
+
+class TestPhiAccrualDetector:
+    """The suspect -> evict -> readmit lifecycle (control plane)."""
+
+    def _detector(self, threshold=2.0):
+        spec = _spec(heartbeat_interval_s=0.01)
+        return PhiAccrualDetector(spec, threshold=threshold)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ClusterError):
+            self._detector(threshold=0.0)
+
+    def test_phi_grows_with_silence(self):
+        det = self._detector()
+        assert det.phi(0, 0.05) == pytest.approx(0.0)
+        # 5 ms past the last heartbeat: half an interval of silence.
+        assert det.phi(0, 0.055) == pytest.approx(0.5 / _LN10)
+
+    def test_suspect_time_closed_form(self):
+        det = self._detector(threshold=2.0)
+        # Silenced at 53 ms => last heartbeat 50 ms; phi crosses 2
+        # exactly 2 * interval * ln10 later.
+        assert det.suspect_time(0.053) == pytest.approx(
+            0.05 + 2.0 * 0.01 * _LN10)
+
+    def test_silence_evict_readmit_lifecycle(self):
+        det = self._detector()
+        evict_at = det.silence(0, 0.053)
+        assert evict_at == pytest.approx(det.suspect_time(0.053))
+        # Double silence is a no-op (keeps the first timeline).
+        assert det.silence(0, 0.06) is None
+        assert det.evict(0, evict_at)
+        assert 0 in det.evicted
+        readmit_at = det.resume(0, 0.123)
+        # Readmission happens at the first heartbeat after recovery.
+        assert readmit_at == pytest.approx(0.13)
+        assert det.readmit(0, readmit_at)
+        assert 0 not in det.evicted
+        assert [(kind, node) for _, kind, node in det.transitions] \
+            == [("evict", 0), ("readmit", 0)]
+
+    def test_resume_before_eviction_cancels_it(self):
+        """A node that recovers inside the detection window is never
+        evicted: the scheduled evict edge becomes a no-op."""
+        det = self._detector()
+        evict_at = det.silence(0, 0.05)
+        det.resume(0, evict_at - 0.01)
+        assert not det.evict(0, evict_at)
+        assert det.transitions == []
+
+    def test_readmit_without_eviction_is_noop(self):
+        det = self._detector()
+        assert not det.readmit(0, 1.0)
+
+
+class TestSimulatorValidation:
+    def test_unknown_router(self):
+        with pytest.raises(ClusterError):
+            ClusterSimulator(_spec(), router="round_robin")
+
+    def test_negative_retries(self):
+        with pytest.raises(ClusterError):
+            ClusterSimulator(_spec(), retries=-1)
+
+    def test_unsorted_arrivals(self):
+        sim = ClusterSimulator(_spec())
+        with pytest.raises(ClusterError):
+            sim.run([0.0, 0.2, 0.1])
+
+
+class TestEmptyRun:
+    def test_nan_with_flag_semantics(self):
+        res = ClusterSimulator(_spec()).run([])
+        assert res.empty and res.total == 0
+        assert math.isnan(res.availability)
+        assert math.isnan(res.goodput_rps)
+        assert not res.has_latencies
+        assert math.isnan(res.p99_ms)
+
+
+class TestHappyPath:
+    @pytest.mark.parametrize("router", ["p2c", "least_loaded",
+                                        "random"])
+    def test_sparse_load_all_served(self, router):
+        sim = ClusterSimulator(_spec(), router=router, seed=3)
+        res = sim.run(_sparse_arrivals())
+        assert res.availability == 1.0
+        assert res.count(SERVED) == res.total
+        assert res.has_latencies
+        assert res.p50_ms >= 1.0  # at least one service time
+
+    def test_least_loaded_balances(self):
+        spec = _spec()
+        sim = ClusterSimulator(spec, router="least_loaded",
+                               admission=None, seed=0)
+        # Burst of simultaneous-ish arrivals: exactly one per node
+        # fits with zero wait before queueing starts.
+        res = sim.run(np.full(spec.num_nodes, 0.0))
+        assert res.availability == 1.0
+        # All four nodes took exactly one request => identical latency.
+        assert np.allclose(res.latency_s, res.latency_s[0])
+
+
+class TestFailureDomains:
+    def test_crash_without_detector_fails_requests(self):
+        spec = _spec()
+        sim = ClusterSimulator(spec, router="random",
+                               detector_threshold=None, retries=0,
+                               seed=1)
+        events = [ClusterEvent(0.0, "rack_down", 0)]
+        res = sim.run(_sparse_arrivals(200), events)
+        # Half the fleet is dead and invisible: ~half the requests
+        # land on it and fail.
+        assert res.failed > 0.3 * res.total
+
+    def test_detector_closes_the_gap(self):
+        spec = _spec(heartbeat_interval_s=1e-3)
+        sim = ClusterSimulator(spec, router="random",
+                               detector_threshold=2.0, retries=0,
+                               seed=1)
+        events = [ClusterEvent(0.0, "rack_down", 0)]
+        res = sim.run(_sparse_arrivals(200), events)
+        evicts = [t for t in res.detector_transitions
+                  if t[1] == "evict"]
+        assert len(evicts) == spec.nodes_per_rack
+        detect_by = max(t[0] for t in evicts)
+        late = res.arrivals > detect_by
+        # After eviction the router never sends to the dead rack.
+        assert np.all(res.status[late] == SERVED)
+        assert res.failed < 0.3 * res.total
+
+    def test_repair_readmits(self):
+        spec = _spec(heartbeat_interval_s=1e-3)
+        sim = ClusterSimulator(spec, router="p2c",
+                               detector_threshold=2.0, seed=0)
+        events = [ClusterEvent(0.05, "crash", 0),
+                  ClusterEvent(0.25, "repair", 0)]
+        res = sim.run(_sparse_arrivals(60), events)
+        kinds = [(kind, node) for _, kind, node
+                 in res.detector_transitions]
+        assert ("evict", 0) in kinds and ("readmit", 0) in kinds
+        assert res.availability == 1.0  # failover hid the crash
+
+    def test_partition_and_heal(self):
+        spec = _spec(heartbeat_interval_s=1e-3)
+        sim = ClusterSimulator(spec, router="p2c",
+                               detector_threshold=2.0, seed=0)
+        events = [ClusterEvent(0.1, "partition", 1),
+                  ClusterEvent(0.3, "heal", 1)]
+        res = sim.run(_sparse_arrivals(60), events)
+        nodes = {node for _, kind, node in res.detector_transitions
+                 if kind == "evict"}
+        assert nodes == set(spec.nodes_in_rack(1))
+        assert ("heal", 1) in [(a, t) for _, a, t in res.event_log]
+
+    def test_slow_events_stretch_latency(self):
+        spec = _spec(racks=1, nodes_per_rack=1)
+        sim = ClusterSimulator(spec, shed_on_deadline=False, seed=0)
+        base = sim.run(_sparse_arrivals(10))
+        slow = ClusterSimulator(spec, shed_on_deadline=False, seed=0)
+        res = slow.run(_sparse_arrivals(10),
+                       [ClusterEvent(0.0, "slow", 0, value=5.0)])
+        assert np.nanmedian(res.latency_s) > \
+            4 * np.nanmedian(base.latency_s)
+
+
+class TestGracefulDegradation:
+    def test_admission_sheds_over_rate(self):
+        spec = _spec()
+        sim = ClusterSimulator(
+            spec, admission=TokenBucket(rate_rps=50.0, burst=1.0),
+            brownout=None, seed=0)
+        res = sim.run(np.arange(200) * 1e-3)  # 1000 rps offered
+        assert res.count(SHED_ADMISSION) > 0.8 * res.total
+
+    def test_brownout_absorbs_admission_rejects(self):
+        spec = _spec()
+        sim = ClusterSimulator(
+            spec, admission=TokenBucket(rate_rps=50.0, burst=1.0),
+            brownout=BrownoutPolicy(max_concurrent=256), seed=0)
+        res = sim.run(np.arange(200) * 1e-3)
+        assert res.count(BROWNOUT) > 0
+        assert res.count(SHED_ADMISSION) < res.total
+        # Brownout latencies are honest: at least the CPU latency,
+        # never past the deadline.
+        lat = res.latency_s[res.status == BROWNOUT]
+        assert np.all(lat >= BrownoutPolicy().cpu_latency_s - 1e-12)
+        assert np.all(lat <= spec.deadline_s + 1e-12)
+
+    def test_deadline_shedding_vs_client_timeouts(self):
+        """The same overload either becomes explicit sheds (mitigated)
+        or client timeouts from unbounded queues (ablated)."""
+        spec = _spec(racks=1, nodes_per_rack=1)
+        overload = np.arange(400) * 0.5e-3  # 2x one node's capacity
+        shed = ClusterSimulator(spec, shed_on_deadline=True,
+                                brownout=None, seed=0).run(overload)
+        assert shed.count(SHED_DEADLINE) > 0
+        assert shed.deadline_violations == 0
+        ablated = ClusterSimulator(spec, shed_on_deadline=False,
+                                   brownout=None, seed=0).run(overload)
+        assert ablated.count(TIMEOUT) > 0
+        assert ablated.availability < shed.availability
+
+    def test_all_dead_brownout_or_fail(self):
+        spec = _spec()
+        events = [ClusterEvent(0.0, "rack_down", 0),
+                  ClusterEvent(0.0, "rack_down", 1)]
+        res = ClusterSimulator(spec, brownout=None, seed=0).run(
+            _sparse_arrivals(20), events)
+        assert np.all(res.status == FAILED)
+        assert res.failed == res.total
+        res = ClusterSimulator(
+            spec, brownout=BrownoutPolicy(max_concurrent=64),
+            seed=0).run(_sparse_arrivals(20), events)
+        assert res.count(BROWNOUT) == res.total
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self):
+        spec = _spec()
+        events = [ClusterEvent(0.05, "rack_down", 0),
+                  ClusterEvent(0.2, "rack_up", 0)]
+        runs = []
+        for _ in range(2):
+            sim = ClusterSimulator(
+                spec, admission=TokenBucket(rate_rps=3000.0),
+                brownout=BrownoutPolicy(), seed=42)
+            runs.append(sim.run(np.arange(500) * 4e-4, list(events)))
+        a, b = runs
+        assert np.array_equal(a.status, b.status)
+        assert np.array_equal(a.latency_s, b.latency_s,
+                              equal_nan=True)
+        assert a.event_log == b.event_log
+
+    def test_different_seed_differs(self):
+        spec = _spec()
+        arr = np.arange(2000) * 1e-4
+        events = [ClusterEvent(0.02, "rack_down", 0)]
+        a = ClusterSimulator(spec, router="random", retries=0,
+                             detector_threshold=None,
+                             seed=0).run(arr, list(events))
+        b = ClusterSimulator(spec, router="random", retries=0,
+                             detector_threshold=None,
+                             seed=1).run(arr, list(events))
+        assert not np.array_equal(a.status, b.status)
+
+
+class TestResultRendering:
+    def test_render_smoke(self):
+        res = ClusterSimulator(_spec(), seed=0).run(
+            _sparse_arrivals(20))
+        text = res.render()
+        assert "availability: 100.000%" in text
+        assert "served=20" in text
+
+    def test_render_empty(self):
+        text = ClusterSimulator(_spec(), seed=0).run([]).render()
+        assert "n/a" in text
+
+    def test_counts_cover_all_statuses(self):
+        res = ClusterSimulator(_spec(), seed=0).run(
+            _sparse_arrivals(5))
+        counts = res.counts()
+        assert set(counts) == {"served", "brownout", "shed_admission",
+                               "shed_deadline", "failed", "timeout"}
+        assert sum(counts.values()) == res.total

@@ -287,6 +287,84 @@ class TestCircuitBreaker:
             reg.record_failure("svc", stranger)
 
 
+class TestHalfOpenInterleavings:
+    """Half-open probe behavior when multiple in-flight requests
+    report back out of order — the interleavings a concurrent client
+    pool would produce, replayed at simulated timestamps."""
+
+    def _open_breaker(self, reg, svc, until_t):
+        for k in range(reg.failure_threshold):
+            reg.record_failure("svc", svc, now=until_t)
+
+    def test_probe_failure_reopens_below_threshold(self, compiled):
+        """A failed half-open probe re-opens on ONE strike even when
+        the closed-state threshold is higher."""
+        reg = replicated_registry(compiled, n=1, failure_threshold=3,
+                                  recovery_timeout_s=1.0)
+        svc = reg.replicas("svc")[0]
+        self._open_breaker(reg, svc, 0.0)
+        assert reg.breaker_state("svc", svc, now=1.5) == "half_open"
+        reg.record_failure("svc", svc, now=1.5)
+        assert reg.breaker_state("svc", svc, now=1.5) == "open"
+        assert reg.breaker_state("svc", svc, now=2.4) == "open"
+
+    def test_straggler_success_after_probe_failure_closes(self, compiled):
+        """Two requests race against a half-open replica: the probe
+        fails (re-opens) but a straggler success lands just after.
+        Latest report wins — the breaker closes."""
+        reg = replicated_registry(compiled, n=1, failure_threshold=1,
+                                  recovery_timeout_s=1.0)
+        svc = reg.replicas("svc")[0]
+        reg.record_failure("svc", svc, now=0.0)
+        reg.record_failure("svc", svc, now=1.5)   # failed probe
+        assert reg.breaker_state("svc", svc, now=1.6) == "open"
+        reg.record_success("svc", svc, now=1.6)   # straggler
+        assert reg.breaker_state("svc", svc, now=1.6) == "closed"
+        assert reg.healthy("svc", now=1.6) == [svc]
+
+    def test_stale_failure_during_open_extends_window(self, compiled):
+        """An in-flight request dispatched before the trip fails while
+        the breaker is already open: the probe window pushes out."""
+        reg = replicated_registry(compiled, n=1, failure_threshold=1,
+                                  recovery_timeout_s=1.0)
+        svc = reg.replicas("svc")[0]
+        reg.record_failure("svc", svc, now=0.0)
+        reg.record_failure("svc", svc, now=0.5)   # stale report
+        assert reg.breaker_state("svc", svc, now=1.2) == "open"
+        assert reg.breaker_state("svc", svc, now=1.6) == "half_open"
+
+    def test_breakers_probe_independently(self, compiled):
+        """Staggered trips on two replicas: each gets its own probe
+        window, and a probe outcome on one never touches the other."""
+        reg = replicated_registry(compiled, n=2, failure_threshold=1,
+                                  recovery_timeout_s=1.0)
+        first, second = reg.replicas("svc")
+        reg.record_failure("svc", first, now=0.0)
+        reg.record_failure("svc", second, now=0.4)
+        assert reg.healthy("svc", now=0.5) == []
+        # Only the first window has elapsed at 1.2 s.
+        assert reg.healthy("svc", now=1.2) == [first]
+        reg.record_success("svc", first, now=1.2)
+        assert reg.breaker_state("svc", second, now=1.2) == "open"
+        # Probes list ahead of closed replicas once both are back.
+        assert reg.healthy("svc", now=1.5) == [second, first]
+
+    def test_probe_emits_single_half_open_edge(self, compiled):
+        """Repeated healthy() polls during the half-open window report
+        the transition edge exactly once."""
+        tracer = Tracer(unit="s")
+        reg = replicated_registry(compiled, n=1, failure_threshold=1,
+                                  recovery_timeout_s=1.0,
+                                  tracer=tracer)
+        svc = reg.replicas("svc")[0]
+        reg.record_failure("svc", svc, now=0.0)
+        for now in (1.1, 1.2, 1.3):
+            assert reg.healthy("svc", now=now) == [svc]
+        edges = [(e.attrs["from_state"], e.attrs["to_state"])
+                 for e in tracer.find_events(name="breaker")]
+        assert edges == [("closed", "open"), ("open", "half_open")]
+
+
 class TestResilientClient:
     def test_failover_to_healthy_replica(self, compiled):
         inj = FaultInjector()
@@ -385,6 +463,25 @@ class TestResilientClient:
             RetryPolicy(max_attempts=0)
         with pytest.raises(ConfigError):
             RetryPolicy(deadline_s=0)
+
+    @pytest.mark.parametrize("kw", [
+        dict(base_backoff_s=-1e-6),
+        dict(backoff_multiplier=0.5),
+        dict(jitter_frac=-0.1),
+        dict(jitter_frac=1.5),
+        dict(hedge_after_s=0.0),
+    ])
+    def test_policy_validation_rejects_bad_fields(self, kw):
+        with pytest.raises(ConfigError):
+            RetryPolicy(**kw)
+
+    def test_policy_validation_messages_name_the_field(self):
+        with pytest.raises(ConfigError, match="backoff_multiplier"):
+            RetryPolicy(backoff_multiplier=0.0)
+        with pytest.raises(ConfigError, match="jitter_frac"):
+            RetryPolicy(jitter_frac=2.0)
+        with pytest.raises(ConfigError, match="hedge_after_s"):
+            RetryPolicy(hedge_after_s=-1.0)
 
 
 class TestRuntimeResilience:

@@ -1,12 +1,16 @@
 """Tests for the request-level serving simulation."""
 
+import numpy as np
 import pytest
 
 from repro.system.loadgen import (
     Batch1Server,
     BatchingServer,
     LoadError,
+    bursty_arrivals,
     compare_under_load,
+    diurnal_arrivals,
+    heavy_tailed_arrivals,
     poisson_arrivals,
     uniform_arrivals,
 )
@@ -128,7 +132,105 @@ class TestComparison:
         assert comparisons[0].bw.throughput_rps == pytest.approx(
             100, rel=0.2)
 
-    def test_empty_result_raises(self):
+    def test_empty_result_nan_with_flag(self):
+        """Degenerate results flag themselves and report nan instead
+        of raising or fabricating a misleading 0.0."""
+        import math
+
         from repro.system.loadgen import LoadResult
+        res = LoadResult([])
+        assert res.empty
+        assert math.isnan(res.percentile_latency(50))
+        assert math.isnan(res.p99_ms)
+        assert math.isnan(res.mean_ms)
+        assert math.isnan(res.throughput_rps)
+
+    def test_empty_fault_scenario_nan_with_flag(self):
+        import math
+
+        from repro.system.loadgen import FaultScenarioResult
+        res = FaultScenarioResult(outcomes=[], arrivals=[])
+        assert res.empty and not res.has_successes
+        assert math.isnan(res.availability)
+        assert math.isnan(res.span_s)
+        assert math.isnan(res.goodput_rps)
+        assert math.isnan(res.p99_ms)
+        assert math.isnan(res.mean_attempts)
+
+    def test_all_failed_scenario_flags_no_successes(self):
+        import math
+
+        from repro.system.faults import InvocationOutcome
+        from repro.system.loadgen import FaultScenarioResult
+        outcomes = [InvocationOutcome(
+            service="svc", ok=False, result=None, attempts=2,
+            replicas_tried=["svc-0"], latency_s=0.01,
+            deadline_met=False) for _ in range(3)]
+        res = FaultScenarioResult(outcomes=outcomes,
+                                  arrivals=[0.0, 0.1, 0.2])
+        assert not res.empty and not res.has_successes
+        assert res.availability == 0.0          # real zero, not nan
+        assert math.isnan(res.p99_ms)           # no success latencies
+        assert res.mean_attempts == pytest.approx(2.0)
+
+
+class TestShapedArrivals:
+    """The vectorized diurnal / bursty / heavy-tailed trace
+    generators that drive the cluster chaos scenarios."""
+
+    def test_diurnal_rate_between_base_and_peak(self):
+        times = diurnal_arrivals(100.0, 300.0, 50.0, period_s=50.0,
+                                 seed=0)
+        rate = len(times) / 50.0
+        assert 100.0 < rate < 300.0
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_diurnal_trough_at_zero(self):
+        """The sinusoid starts at the trough: the first tenth of the
+        period is much quieter than the middle."""
+        times = np.asarray(diurnal_arrivals(50.0, 500.0, 100.0,
+                                            period_s=100.0, seed=1))
+        early = np.count_nonzero(times < 10.0)
+        mid = np.count_nonzero((times >= 45.0) & (times < 55.0))
+        assert mid > 2 * early
+
+    def test_bursty_has_quiet_and_hot_stretches(self):
+        times = np.asarray(bursty_arrivals(50.0, 2000.0, 20.0,
+                                           mean_quiet_s=2.0,
+                                           mean_burst_s=0.5, seed=2))
+        # Per-second counts span at least the base->burst dynamic
+        # range (an MMPP, not a homogeneous process).
+        counts = np.histogram(times, bins=20, range=(0, 20))[0]
+        assert counts.max() > 5 * max(counts.min(), 1)
+
+    def test_heavy_tailed_count_and_tail(self):
+        times = np.asarray(heavy_tailed_arrivals(1000.0, 20_000,
+                                                 alpha=1.6, seed=3))
+        assert times.size == 20_000
+        gaps = np.diff(times)
+        assert np.all(gaps >= 0) and np.all(np.isfinite(times))
+        # Pareto gaps: the largest gap dwarfs the median gap.
+        assert gaps.max() > 20 * np.median(gaps)
+
+    @pytest.mark.parametrize("make", [
+        lambda seed: diurnal_arrivals(10.0, 30.0, 20.0, seed=seed),
+        lambda seed: bursty_arrivals(10.0, 100.0, 20.0, seed=seed),
+        lambda seed: heavy_tailed_arrivals(100.0, 500, seed=seed),
+    ])
+    def test_deterministic_per_seed(self, make):
+        assert np.array_equal(make(7), make(7))
+        assert not np.array_equal(make(7), make(8))
+
+    def test_validation(self):
         with pytest.raises(LoadError):
-            LoadResult([]).percentile_latency(50)
+            diurnal_arrivals(0.0, 10.0, 1.0)
+        with pytest.raises(LoadError):
+            diurnal_arrivals(20.0, 10.0, 1.0)  # peak below base
+        with pytest.raises(LoadError):
+            bursty_arrivals(10.0, 5.0, 1.0)    # burst below base
+        with pytest.raises(LoadError):
+            bursty_arrivals(10.0, 20.0, 0.0)
+        with pytest.raises(LoadError):
+            heavy_tailed_arrivals(100.0, 10, alpha=1.0)
+        with pytest.raises(LoadError):
+            heavy_tailed_arrivals(0.0, 10)
