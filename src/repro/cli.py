@@ -11,6 +11,10 @@ Commands:
 * ``disassemble <kind> <hidden>`` — print the generated NPU program;
 * ``serve-faults`` — availability/goodput/latency of replicated
   microservice serving under injected faults;
+* ``monitor <scenario|all>`` — run a chaos scenario with the fleet
+  monitoring plane attached: text/HTML dashboard, SLO burn-rate
+  alerts, Prometheus export, and a detection scorecard with optional
+  precision/recall/MTTD gates;
 * ``trace <workload>`` — run a workload with :mod:`repro.obs` tracing
   and write a Chrome/Perfetto ``trace.json`` plus a metrics summary;
 * ``fuzz`` — differential conformance fuzzing of the ISA executors
@@ -141,6 +145,71 @@ def _cmd_chaos(args) -> int:
             ok = False
             print(f"FLOOR VIOLATED: availability "
                   f"{res.availability:.4f} < {args.min_availability}")
+    return 0 if ok else 1
+
+
+def _monitor_out_path(path: str, name: str, many: bool) -> str:
+    if not many:
+        return path
+    root, dot, ext = path.rpartition(".")
+    if not dot:
+        return f"{path}-{name}"
+    return f"{root}-{name}.{ext}"
+
+
+def _cmd_monitor(args) -> int:
+    import math
+
+    from .obs import (render_html_dashboard, render_text_dashboard,
+                      write_prometheus)
+    from .system.chaos import SCENARIOS
+    from .system.cluster import ClusterSpec
+    from .system.monitor import run_monitored_scenario
+    spec = ClusterSpec(racks=args.racks,
+                       nodes_per_rack=args.nodes_per_rack)
+    names = sorted(SCENARIOS) if args.scenario == "all" \
+        else [args.scenario]
+    many = len(names) > 1
+    ok = True
+    for name in names:
+        run = run_monitored_scenario(
+            name, spec=spec, requests=args.requests, seed=args.seed,
+            mitigated=not args.ablated, windows=args.windows)
+        print(render_text_dashboard(
+            run.store, incidents=run.incidents, faults=run.faults,
+            scorecard=run.scorecard,
+            title=f"{name} ({run.stack}): {args.requests} requests, "
+                  f"seed {args.seed}"))
+        print()
+        if args.html:
+            path = _monitor_out_path(args.html, name, many)
+            with open(path, "w") as fh:
+                fh.write(render_html_dashboard(
+                    run.store, incidents=run.incidents,
+                    faults=run.faults, scorecard=run.scorecard,
+                    title=f"{name} ({run.stack})"))
+            print(f"wrote HTML dashboard to {path}")
+        if args.prom:
+            path = _monitor_out_path(args.prom, name, many)
+            write_prometheus(path, store=run.store)
+            print(f"wrote Prometheus text exposition to {path}")
+        card = run.scorecard
+        if args.min_precision is not None \
+                and card.precision < args.min_precision:
+            ok = False
+            print(f"GATE VIOLATED: {name} precision "
+                  f"{card.precision:.2f} < {args.min_precision}")
+        if args.min_recall is not None \
+                and card.recall < args.min_recall:
+            ok = False
+            print(f"GATE VIOLATED: {name} recall "
+                  f"{card.recall:.2f} < {args.min_recall}")
+        if args.max_mttd is not None and card.faults \
+                and (math.isnan(card.mttd_s)
+                     or card.mttd_s > args.max_mttd):
+            ok = False
+            print(f"GATE VIOLATED: {name} MTTD "
+                  f"{card.mttd_s:.3f} s > {args.max_mttd} s")
     return 0 if ok else 1
 
 
@@ -344,6 +413,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-ablation", action="store_true",
                    help="skip the no-mitigation baseline run")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "monitor",
+        help="run a chaos scenario with the fleet monitoring plane: "
+             "dashboard, alerts, detection scorecard")
+    p.add_argument("scenario",
+                   choices=["all", "overload", "partition",
+                            "rack_loss", "rolling_slow"])
+    p.add_argument("--requests", type=int, default=50_000,
+                   help="simulated requests per scenario")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--racks", type=int, default=4)
+    p.add_argument("--nodes-per-rack", type=int, default=6)
+    p.add_argument("--windows", type=int, default=256,
+                   help="time-series windows spanning the run")
+    p.add_argument("--ablated", action="store_true",
+                   help="run without the mitigation stack")
+    p.add_argument("--html", default=None, metavar="PATH",
+                   help="write an HTML fleet dashboard")
+    p.add_argument("--prom", default=None, metavar="PATH",
+                   help="write a Prometheus text exposition")
+    p.add_argument("--min-precision", type=float, default=None,
+                   metavar="FRAC",
+                   help="exit 1 if detection precision falls below")
+    p.add_argument("--min-recall", type=float, default=None,
+                   metavar="FRAC",
+                   help="exit 1 if detection recall falls below")
+    p.add_argument("--max-mttd", type=float, default=None,
+                   metavar="SECONDS",
+                   help="exit 1 if mean time-to-detect exceeds")
+    p.set_defaults(func=_cmd_monitor)
 
     p = sub.add_parser(
         "trace",

@@ -700,6 +700,16 @@ def chaos(requests: int = 50_000, seed: int = 0) -> ExperimentTable:
     return chaos_suite(requests=requests, seed=seed)
 
 
+def monitoring(requests: int = 50_000, seed: int = 0) -> ExperimentTable:
+    """Chaos-detection scorecards: every catalog scenario (mitigated
+    and ablated) run with the fleet monitoring plane attached, alerts
+    scored against the injector's ground-truth fault intervals.  See
+    :func:`repro.system.monitor.detection_table`.
+    """
+    from ..system.monitor import detection_table
+    return detection_table(requests=requests, seed=seed)
+
+
 #: All experiment drivers by identifier.
 ALL_EXPERIMENTS = {
     "table1": table1,
@@ -717,6 +727,7 @@ ALL_EXPERIMENTS = {
     "slo_under_load": slo_under_load,
     "slo_under_faults": slo_under_faults,
     "chaos": chaos,
+    "monitoring": monitoring,
 }
 
 

@@ -29,23 +29,66 @@ from .metrics import (
     Metrics,
     NULL_METRICS,
     NullMetrics,
+    bucket_quantile,
+    default_bounds,
     or_null_metrics,
     percentile,
     percentile_or_nan,
 )
 from .export import (
     chrome_trace_events,
+    from_jsonl,
     summarize,
     to_chrome_trace,
     to_jsonl,
     write_chrome_trace,
+)
+from .timeseries import (
+    CounterSeries,
+    GaugeSeries,
+    QuantileWindow,
+    TimeSeriesStore,
+)
+from .slo import (
+    Alert,
+    BacklogRule,
+    BurnRateRule,
+    CapacityRule,
+    LatencyRule,
+    SloMonitor,
+    availability_series,
+    default_burn_rules,
+    error_budget_remaining,
+    merge_alerts,
+)
+from .scorecard import (
+    DetectionScorecard,
+    FaultInterval,
+    score_detection,
+    scorecard_table,
+)
+from .prom import render_prometheus, write_prometheus
+from .dashboard import (
+    render_html_dashboard,
+    render_text_dashboard,
+    sparkline,
 )
 
 __all__ = [
     "InstantEvent", "NULL_TRACER", "NullTracer", "Span", "Tracer",
     "or_null",
     "Counter", "Gauge", "LatencyHistogram", "Metrics", "NULL_METRICS",
-    "NullMetrics", "or_null_metrics", "percentile", "percentile_or_nan",
-    "chrome_trace_events", "summarize", "to_chrome_trace", "to_jsonl",
-    "write_chrome_trace",
+    "NullMetrics", "bucket_quantile", "default_bounds",
+    "or_null_metrics", "percentile", "percentile_or_nan",
+    "chrome_trace_events", "from_jsonl", "summarize", "to_chrome_trace",
+    "to_jsonl", "write_chrome_trace",
+    "CounterSeries", "GaugeSeries", "QuantileWindow", "TimeSeriesStore",
+    "Alert", "BacklogRule", "BurnRateRule", "CapacityRule",
+    "LatencyRule", "SloMonitor",
+    "availability_series", "default_burn_rules",
+    "error_budget_remaining", "merge_alerts",
+    "DetectionScorecard", "FaultInterval", "score_detection",
+    "scorecard_table",
+    "render_prometheus", "write_prometheus",
+    "render_html_dashboard", "render_text_dashboard", "sparkline",
 ]

@@ -14,7 +14,7 @@ import json
 from typing import Dict, List, Optional
 
 from .metrics import Metrics
-from .trace import Tracer
+from .trace import InstantEvent, Span, Tracer
 
 #: Microseconds per tracer time unit, by unit label.
 _UNIT_SCALE = {"s": 1e6, "seconds": 1e6, "ms": 1e3, "us": 1.0}
@@ -115,6 +115,43 @@ def to_jsonl(tracer: Tracer) -> str:
             "time": event.time, "unit": tracer.unit,
             "attrs": _safe_attrs(event.attrs)}))
     return "\n".join(lines)
+
+
+def from_jsonl(text: str) -> Tracer:
+    """Rebuild a :class:`Tracer` from :func:`to_jsonl` output.
+
+    The inverse for round-trip testing and offline analysis: spans and
+    instants come back with identical ids, names, tracks, parents,
+    timestamps, and attrs (attrs that weren't JSON-native were already
+    stringified on export, so equality holds after one round trip).
+    """
+    spans: List[Span] = []
+    events: List[InstantEvent] = []
+    unit = "cycles"
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        kind = rec.get("kind")
+        unit = rec.get("unit", unit)
+        if kind == "span":
+            spans.append(Span(
+                id=rec["id"], name=rec["name"], start=rec["start"],
+                track=rec["track"], parent=rec["parent"],
+                end=rec["end"], attrs=dict(rec["attrs"])))
+        elif kind == "instant":
+            events.append(InstantEvent(
+                name=rec["name"], time=rec["time"],
+                track=rec["track"], attrs=dict(rec["attrs"])))
+        else:
+            raise ValueError(
+                f"line {lineno}: unknown record kind {kind!r}")
+    tracer = Tracer(unit=unit)
+    tracer.spans = spans
+    tracer.events = events
+    tracer._next_id = max((s.id for s in spans), default=-1) + 1
+    return tracer
 
 
 def summarize(tracer: Optional[Tracer] = None,

@@ -66,11 +66,48 @@ class Gauge:
         self.value = value
 
 
-def _default_bounds() -> Tuple[float, ...]:
-    # Log-spaced 1e-3 .. 1e3 (unit-agnostic: ms for serving, kilocycles
-    # for the core — callers pick the unit when they observe).
+def default_bounds() -> Tuple[float, ...]:
+    """Shared log-spaced histogram bounds, 1e-3 .. 1e3.
+
+    Unit-agnostic: ms for serving, kilocycles for the core — callers
+    pick the unit when they observe.  The time-series layer reuses the
+    same bounds so per-run histograms and per-window quantile streams
+    are mergeable views of the same buckets.
+    """
     return tuple(float(f"{m:g}") for e in range(-3, 4)
                  for m in (10.0 ** e, 2.5 * 10 ** e, 5 * 10.0 ** e))
+
+
+# Backwards-compatible alias (pre-timeseries name).
+_default_bounds = default_bounds
+
+
+def bucket_quantile(bounds: Sequence[float], counts: Sequence[float],
+                    q: float) -> float:
+    """Quantile estimate from bucket counts (linear within buckets).
+
+    ``counts`` has ``len(bounds) + 1`` entries (the last is overflow).
+    Returns ``nan`` for an empty histogram; overflow-bucket ranks clamp
+    to the largest finite bound (the estimator never invents a value
+    beyond what the buckets can support).
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    total = float(counts.sum())
+    if total <= 0:
+        return float("nan")
+    rank = (q / 100.0) * total
+    cum = np.cumsum(counts)
+    idx = int(np.searchsorted(cum, rank, side="left"))
+    if idx >= len(bounds):
+        return float(bounds[-1])
+    lo = 0.0 if idx == 0 else float(bounds[idx - 1])
+    hi = float(bounds[idx])
+    prev = 0.0 if idx == 0 else float(cum[idx - 1])
+    in_bucket = float(counts[idx])
+    if in_bucket <= 0:
+        return hi
+    frac = (rank - prev) / in_bucket
+    return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
 
 
 class LatencyHistogram:
@@ -80,34 +117,94 @@ class LatencyHistogram:
     retained samples give exact percentiles (simulation runs are
     bounded, so keeping them is affordable and keeps benchmark numbers
     identical to the pre-histogram code paths).
+
+    ``max_samples`` bounds the retained-sample list for long-running
+    rollups: past the cap, observations still land in the buckets (and
+    in ``count``/``total``/``mean``) but the sample is not retained and
+    :meth:`percentile` degrades to the bucket estimator.  The default
+    (``None``) keeps the historical keep-everything behavior.
     """
 
     def __init__(self, name: str,
-                 bounds: Optional[Sequence[float]] = None):
+                 bounds: Optional[Sequence[float]] = None,
+                 max_samples: Optional[int] = None):
+        if max_samples is not None and max_samples < 0:
+            raise ValueError("max_samples must be >= 0")
         self.name = name
         self.bounds: Tuple[float, ...] = tuple(
-            sorted(bounds if bounds is not None else _default_bounds()))
+            sorted(bounds if bounds is not None else default_bounds()))
         self.counts: List[int] = [0] * (len(self.bounds) + 1)
         self.samples: List[float] = []
+        self.max_samples = max_samples
+        self.dropped_samples = 0
+        self._n = 0
+        self._sum = 0.0
+        self._max = float("-inf")
 
     def observe(self, value: float) -> None:
-        self.samples.append(value)
+        self._n += 1
+        self._sum += value
+        if value > self._max:
+            self._max = value
+        if (self.max_samples is None
+                or len(self.samples) < self.max_samples):
+            self.samples.append(value)
+        else:
+            self.dropped_samples += 1
         self.counts[int(np.searchsorted(self.bounds, value))] += 1
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other`` into this histogram (same bounds required).
+
+        Bucket counts and scalar aggregates always merge exactly;
+        retained samples carry over only up to ``max_samples``, so a
+        rack/fleet rollup histogram stays bounded no matter how many
+        per-node histograms fold in.
+        """
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge {other.name} into {self.name}: "
+                f"bucket bounds differ")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self._n += other._n
+        self._sum += other._sum
+        if other._max > self._max:
+            self._max = other._max
+        self.dropped_samples += other.dropped_samples
+        room = (None if self.max_samples is None
+                else self.max_samples - len(self.samples))
+        if room is None:
+            self.samples.extend(other.samples)
+        else:
+            take = max(0, min(room, len(other.samples)))
+            self.samples.extend(other.samples[:take])
+            self.dropped_samples += len(other.samples) - take
+        return self
 
     @property
     def count(self) -> int:
-        return len(self.samples)
+        return self._n
 
     @property
     def total(self) -> float:
-        return float(sum(self.samples))
+        return self._sum
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @property
+    def exact(self) -> bool:
+        """True while every observation is retained as a sample."""
+        return self.dropped_samples == 0
+
     def percentile(self, q: float) -> float:
-        return percentile(self.samples, q)
+        """Exact sample percentile while :attr:`exact`; bucket
+        interpolation once samples have been dropped."""
+        if self.exact:
+            return percentile(self.samples, q)
+        return bucket_quantile(self.bounds, self.counts, q)
 
     def bucket_counts(self) -> List[Tuple[float, int]]:
         """Non-empty ``(upper_bound, count)`` pairs; the final bound is
@@ -121,7 +218,7 @@ class LatencyHistogram:
         return (f"{self.name}: n={self.count} mean={self.mean:.4g} "
                 f"p50={self.percentile(50):.4g} "
                 f"p99={self.percentile(99):.4g} "
-                f"max={max(self.samples):.4g}")
+                f"max={self._max:.4g}")
 
 
 class Metrics:

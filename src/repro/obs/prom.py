@@ -1,0 +1,160 @@
+"""Prometheus text exposition format for metrics and time series.
+
+Renders a :class:`~repro.obs.metrics.Metrics` registry and/or a
+:class:`~repro.obs.timeseries.TimeSeriesStore` in the Prometheus
+text-based exposition format (version 0.0.4): counters as ``*_total``,
+gauges verbatim, and both :class:`LatencyHistogram` and
+:class:`QuantileWindow` as cumulative ``_bucket{le=...}`` histogram
+families with ``_sum`` / ``_count``.
+
+The simulator has no HTTP endpoint to scrape — the use case is
+dropping a run's final state into any Prometheus-ecosystem tool
+(promtool, Grafana import, textfile collector) and golden-file testing
+the dashboard pipeline.  Output is byte-deterministic: families and
+label sets are emitted in sorted order and floats use ``repr``-stable
+formatting.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from .metrics import LatencyHistogram, Metrics
+from .timeseries import QuantileWindow, TimeSeriesStore
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_name(name: str) -> str:
+    """Metric name with every illegal character folded to ``_``."""
+    out = _NAME_OK.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _sanitize_label(name: str) -> str:
+    out = _LABEL_OK.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-friendly number: integers bare, floats via repr."""
+    if value != value:
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_str(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_sanitize_label(k)}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _histogram_lines(name: str, labels: Dict[str, str],
+                     bounds, counts, total_sum: float,
+                     count: int) -> List[str]:
+    """Cumulative ``le`` buckets + sum + count for one label set."""
+    lines: List[str] = []
+    cum = 0
+    for bound, n in zip(list(bounds) + [float("inf")], counts):
+        cum += int(n)
+        le = dict(labels)
+        le["le"] = "+Inf" if bound == float("inf") else _fmt(bound)
+        lines.append(f"{name}_bucket{_labels_str(le)} {cum}")
+    lines.append(f"{name}_sum{_labels_str(labels)} {_fmt(total_sum)}")
+    lines.append(f"{name}_count{_labels_str(labels)} {count}")
+    return lines
+
+
+class _Family:
+    def __init__(self, name: str, kind: str, help_text: str):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.lines: List[str] = []
+
+    def render(self) -> List[str]:
+        return ([f"# HELP {self.name} {self.help}",
+                 f"# TYPE {self.name} {self.kind}"] + self.lines)
+
+
+def render_prometheus(metrics: Optional[Metrics] = None,
+                      store: Optional[TimeSeriesStore] = None,
+                      prefix: str = "repro") -> str:
+    """The full exposition document (trailing newline included)."""
+    families: Dict[str, _Family] = {}
+
+    def family(name: str, kind: str, help_text: str) -> _Family:
+        fam = families.get(name)
+        if fam is None:
+            fam = _Family(name, kind, help_text)
+            families[name] = fam
+        return fam
+
+    def qualified(name: str, suffix: str = "") -> str:
+        return sanitize_name(f"{prefix}_{name}{suffix}"
+                             if prefix else f"{name}{suffix}")
+
+    if metrics is not None:
+        for name in sorted(metrics.counters):
+            fam = family(qualified(name, "_total"), "counter",
+                         f"Counter {name}")
+            fam.lines.append(
+                f"{fam.name} {_fmt(metrics.counters[name].value)}")
+        for name in sorted(metrics.gauges):
+            fam = family(qualified(name), "gauge", f"Gauge {name}")
+            fam.lines.append(
+                f"{fam.name} {_fmt(metrics.gauges[name].value)}")
+        for name in sorted(metrics.histograms):
+            hist: LatencyHistogram = metrics.histograms[name]
+            fam = family(qualified(name), "histogram",
+                         f"Histogram {name}")
+            fam.lines.extend(_histogram_lines(
+                fam.name, {}, hist.bounds, hist.counts,
+                hist.total, hist.count))
+
+    if store is not None:
+        for series in store.all_series():
+            if series.kind == "counter":
+                fam = family(qualified(series.name, "_total"),
+                             "counter", f"Counter {series.name}")
+                fam.lines.append(
+                    f"{fam.name}{_labels_str(series.labels)} "
+                    f"{_fmt(series.total())}")
+            elif series.kind == "gauge":
+                fam = family(qualified(series.name), "gauge",
+                             f"Gauge {series.name}")
+                fam.lines.append(
+                    f"{fam.name}{_labels_str(series.labels)} "
+                    f"{_fmt(series.latest())}")
+            elif series.kind == "quantile":
+                qw: QuantileWindow = series
+                fam = family(qualified(series.name), "histogram",
+                             f"Histogram {series.name}")
+                fam.lines.extend(_histogram_lines(
+                    fam.name, qw.labels, qw.bounds,
+                    qw.counts.sum(axis=0), qw.total, qw.count))
+
+    out: List[str] = []
+    for name in sorted(families):
+        out.extend(families[name].render())
+    return "\n".join(out) + "\n" if out else ""
+
+
+def write_prometheus(path: str, metrics: Optional[Metrics] = None,
+                     store: Optional[TimeSeriesStore] = None,
+                     prefix: str = "repro") -> None:
+    with open(path, "w") as fh:
+        fh.write(render_prometheus(metrics=metrics, store=store,
+                                   prefix=prefix))

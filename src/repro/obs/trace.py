@@ -15,6 +15,7 @@ untraced call sites pay only a no-op method call.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Dict, List, Optional
 
 
@@ -55,19 +56,40 @@ class Tracer:
             ``"instructions"`` (functional executor), or ``"s"``
             (serving layer). Exporters scale timestamps by unit.
         max_events: Buffer bound; spans/events beyond it are counted in
-            :attr:`dropped` instead of stored.
+            :attr:`dropped` instead of stored. The first drop emits a
+            one-time ``RuntimeWarning`` (silent data loss is how
+            truncated traces get mistaken for short runs), and every
+            drop increments ``obs.trace.dropped`` on ``metrics``.
+        metrics: Optional :class:`~repro.obs.metrics.Metrics` registry
+            that receives the ``obs.trace.dropped`` counter.
     """
 
     enabled: bool = True
 
-    def __init__(self, unit: str = "cycles", max_events: int = 200_000):
+    def __init__(self, unit: str = "cycles", max_events: int = 200_000,
+                 metrics=None):
+        from .metrics import or_null_metrics
         self.unit = unit
         self.max_events = max_events
+        self.metrics = or_null_metrics(metrics)
         self.spans: List[Span] = []
         self.events: List[InstantEvent] = []
         self.dropped = 0
+        self._drop_warned = False
         self._stack: List[Span] = []
         self._next_id = 0
+
+    def _drop(self, what: str) -> None:
+        """Account one dropped span/event — never silently."""
+        self.dropped += 1
+        self.metrics.counter("obs.trace.dropped").inc()
+        if not self._drop_warned:
+            self._drop_warned = True
+            warnings.warn(
+                f"Tracer buffer full ({self.max_events} events): "
+                f"dropping {what}s from here on (total drops tracked "
+                f"in Tracer.dropped / obs.trace.dropped)",
+                RuntimeWarning, stacklevel=3)
 
     # -- recording ---------------------------------------------------------
 
@@ -85,7 +107,7 @@ class Tracer:
         if len(self.spans) + len(self.events) < self.max_events:
             self.spans.append(span)
         else:
-            self.dropped += 1
+            self._drop("span")
         self._stack.append(span)
         return span
 
@@ -110,7 +132,7 @@ class Tracer:
                 track: Optional[str] = None, **attrs) -> None:
         """Record a zero-duration event."""
         if len(self.spans) + len(self.events) >= self.max_events:
-            self.dropped += 1
+            self._drop("event")
             return
         default_track = self._stack[-1].track if self._stack else "main"
         self.events.append(InstantEvent(
@@ -142,6 +164,7 @@ class Tracer:
         self.events.clear()
         self._stack.clear()
         self.dropped = 0
+        self._drop_warned = False
 
 
 class NullTracer(Tracer):

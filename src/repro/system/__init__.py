@@ -51,6 +51,15 @@ from .chaos import (
     chaos_suite,
     run_chaos_scenario,
 )
+from .monitor import (
+    FleetMonitor,
+    MonitoredRun,
+    default_slo,
+    detection_scorecards,
+    detection_table,
+    run_monitored_scenario,
+    scenario_fault_intervals,
+)
 from .runtime import (
     BidirectionalRnnService,
     CpuStage,
@@ -76,4 +85,7 @@ __all__ = [
     "TokenBucket",
     "ChaosScenario", "CorrelatedFaultInjector", "RepairDistribution",
     "SCENARIOS", "chaos_suite", "run_chaos_scenario",
+    "FleetMonitor", "MonitoredRun", "default_slo",
+    "detection_scorecards", "detection_table",
+    "run_monitored_scenario", "scenario_fault_intervals",
 ]

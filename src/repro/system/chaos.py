@@ -303,9 +303,15 @@ def run_chaos_scenario(name: str, spec: Optional[ClusterSpec] = None,
                        requests: int = 50_000, seed: int = 0,
                        mitigated: bool = True,
                        tracer: Optional[Tracer] = None,
-                       metrics: Optional[Metrics] = None
-                       ) -> ClusterResult:
-    """Build and run one named scenario; bit-deterministic per seed."""
+                       metrics: Optional[Metrics] = None,
+                       monitor=None) -> ClusterResult:
+    """Build and run one named scenario; bit-deterministic per seed.
+
+    ``monitor`` (a :class:`~repro.system.monitor.FleetMonitor`)
+    attaches the telemetry plane without perturbing the run — see
+    :func:`~repro.system.monitor.run_monitored_scenario` for the
+    scored end-to-end pipeline.
+    """
     if name not in SCENARIOS:
         raise ClusterError(
             f"unknown chaos scenario {name!r}; one of "
@@ -315,6 +321,7 @@ def run_chaos_scenario(name: str, spec: Optional[ClusterSpec] = None,
     spec = spec if spec is not None else ClusterSpec()
     scenario = SCENARIOS[name](spec, seed, requests)
     sim = _simulator(spec, mitigated, seed + 1, tracer, metrics)
+    sim.monitor = monitor
     return sim.run(scenario.arrivals, scenario.events)
 
 

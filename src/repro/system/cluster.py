@@ -443,11 +443,19 @@ class ClusterSimulator:
                  retries: int = 1,
                  seed: int = 0,
                  tracer: Optional[Tracer] = None,
-                 metrics: Optional[Metrics] = None):
+                 metrics: Optional[Metrics] = None,
+                 monitor=None):
         """``detector_threshold=None`` disables failure detection (the
         router keeps sending to dead nodes); ``admission=None`` and
         ``brownout=None`` disable those mitigations; ``retries`` is the
-        number of immediate failovers after landing on a dead node."""
+        number of immediate failovers after landing on a dead node.
+
+        ``monitor`` (a :class:`~repro.system.monitor.FleetMonitor`)
+        attaches the telemetry plane: the simulator schedules its
+        scrape instants as ``_scrape`` control events and hands it the
+        per-request node attribution after the run.  Monitoring is
+        observation-only — it never touches the RNG stream, the event
+        log, or any outcome."""
         if router not in _ROUTERS:
             raise ClusterError(
                 f"unknown router {router!r}; one of {_ROUTERS}")
@@ -462,6 +470,7 @@ class ClusterSimulator:
         self.seed = seed
         self.tracer = or_null(tracer)
         self.metrics = or_null_metrics(metrics)
+        self.monitor = monitor
         self.detector = (PhiAccrualDetector(
             self.spec, detector_threshold, tracer=self.tracer,
             metrics=self.metrics)
@@ -501,6 +510,13 @@ class ClusterSimulator:
     def _apply(self, when: float, action: str, target: int,
                value: float, heap, seq) -> None:
         """Apply one control event at simulated time ``when``."""
+        if action == "_scrape":
+            # Observation only: read state into the monitor's store and
+            # return before the event log / tracer / view rebuild, so a
+            # monitored run's log and outcomes stay bit-identical to an
+            # unmonitored one.
+            self.monitor.scrape(when, self)
+            return
         spec = self.spec
         log = self._event_log
         if action == "crash":
@@ -591,6 +607,18 @@ class ClusterSimulator:
             heapq.heappush(heap, (ev.time_s, next(seq), ev.action,
                                   ev.target, ev.value))
 
+        monitor = self.monitor
+        node_of = None
+        if monitor is not None:
+            # Per-request node attribution for the monitor.  A bytearray
+            # (0xFF = unrouted) converts to numpy zero-copy after the
+            # run; fall back to a list when node ids don't fit a byte.
+            node_of = bytearray(b"\xff" * n) \
+                if spec.num_nodes < 0xFF else [-1] * n
+            for ts in monitor.begin(self, arrivals, events):
+                heapq.heappush(
+                    heap, (float(ts), next(seq), "_scrape", 0, 0.0))
+
         status = np.full(n, FAILED, dtype=np.uint8)
         latency = np.full(n, np.nan, dtype=np.float64)
 
@@ -661,12 +689,19 @@ class ClusterSimulator:
                 # Failover: in the detection window after a fault the
                 # router's view still contains dead nodes; one retry on
                 # the alternate candidate is the client-side hedge.
+                chosen = node
                 if not up[node] or node // rack_span in cut_racks:
                     node = -1 if retries < 1 else \
                         view[int(choice2[i] * nh)]
                     if node >= 0 and (not up[node]
                                       or node // rack_span in cut_racks):
                         node = -1
+
+                if node_of is not None:
+                    # Failed requests attribute to the dead node they
+                    # landed on — that's the failure domain that ate
+                    # them, which is what the per-rack breakdown needs.
+                    node_of[i] = node if node >= 0 else chosen
 
             if node < 0:
                 # No live candidate: brownout if possible, else fail.
@@ -723,8 +758,11 @@ class ClusterSimulator:
                 int(np.count_nonzero(
                     latency[finite] > deadline_s)))
 
-        return ClusterResult(
+        result = ClusterResult(
             spec=spec, arrivals=arrivals, status=status,
             latency_s=latency, event_log=list(self._event_log),
             detector_transitions=list(
                 self.detector.transitions if self.detector else []))
+        if monitor is not None:
+            monitor.finish(result, node_of)
+        return result

@@ -83,3 +83,41 @@ def test_fuzz_pinned_config_and_profile(capsys):
                "--no-timing"])
     assert rc == 0
     capsys.readouterr()
+
+
+def test_monitor_smoke(tmp_path, capsys):
+    html = tmp_path / "dash.html"
+    prom = tmp_path / "metrics.prom"
+    rc = main(["monitor", "rack_loss", "--requests", "8000",
+               "--seed", "0", "--html", str(html),
+               "--prom", str(prom)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "detection scorecard" in out
+    assert "availability" in out
+    text = html.read_text()
+    assert text.startswith("<!DOCTYPE html>") or "<html" in text
+    assert "availability" in text
+    lines = prom.read_text().splitlines()
+    assert any(l.startswith("# TYPE repro_cluster_requests_total "
+               "counter") for l in lines)
+    assert any(l.startswith("repro_cluster_latency_ms_bucket")
+               for l in lines)
+
+
+def test_monitor_gate_violation_exits_nonzero(capsys):
+    rc = main(["monitor", "rack_loss", "--requests", "8000",
+               "--seed", "0", "--min-precision", "1.1"])
+    assert rc == 1
+    assert "GATE VIOLATED" in capsys.readouterr().out
+
+
+def test_monitor_all_writes_per_scenario_files(tmp_path, capsys):
+    prom = tmp_path / "m.prom"
+    rc = main(["monitor", "all", "--requests", "4000", "--seed", "0",
+               "--prom", str(prom)])
+    assert rc == 0
+    capsys.readouterr()
+    for name in ("overload", "partition", "rack_loss",
+                 "rolling_slow"):
+        assert (tmp_path / f"m-{name}.prom").exists()

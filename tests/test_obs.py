@@ -2,6 +2,7 @@
 exporters, layer instrumentation, and trace/untraced equivalence."""
 
 import json
+import warnings
 
 import numpy as np
 import pytest
@@ -77,10 +78,35 @@ class TestTracer:
 
     def test_bounded_buffer_drops(self):
         tr = Tracer(max_events=3)
-        for i in range(10):
-            tr.span("s", i, i + 1, track="t")
+        with pytest.warns(RuntimeWarning, match="Tracer buffer full"):
+            for i in range(10):
+                tr.span("s", i, i + 1, track="t")
         assert len(tr.spans) == 3
         assert tr.dropped == 7
+
+    def test_drop_warns_once_and_counts_in_metrics(self):
+        metrics = Metrics()
+        tr = Tracer(max_events=2, metrics=metrics)
+        tr.span("keep", 0, 1, track="t")
+        tr.instant("keep", 0, track="t")
+        with pytest.warns(RuntimeWarning, match="Tracer buffer full"):
+            tr.span("lost", 1, 2, track="t")
+        # Later drops are counted but do not warn again.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            tr.instant("lost", 2, track="t")
+        assert tr.dropped == 2
+        assert metrics.counter("obs.trace.dropped").value == 2
+
+    def test_clear_rearms_drop_warning(self):
+        tr = Tracer(max_events=1)
+        tr.span("keep", 0, 1, track="t")
+        with pytest.warns(RuntimeWarning):
+            tr.span("lost", 1, 2, track="t")
+        tr.clear()
+        tr.span("keep", 0, 1, track="t")
+        with pytest.warns(RuntimeWarning):
+            tr.span("lost", 1, 2, track="t")
 
     def test_clear(self):
         tr = Tracer()
@@ -129,6 +155,58 @@ class TestMetrics:
         assert h.percentile(50) == float(np.percentile(
             [0.5, 2.0, 3.0, 20.0], 50))
         assert "n=4" in h.render()
+
+    def test_histogram_merge_matches_combined_observes(self, rng):
+        bounds = [1.0, 5.0, 20.0]
+        left = LatencyHistogram("lat", bounds=bounds)
+        right = LatencyHistogram("lat", bounds=bounds)
+        whole = LatencyHistogram("lat", bounds=bounds)
+        vals = rng.exponential(4.0, 200)
+        for v in vals[:120]:
+            left.observe(v)
+            whole.observe(v)
+        for v in vals[120:]:
+            right.observe(v)
+            whole.observe(v)
+        left.merge(right)
+        assert left.count == whole.count == 200
+        assert left.total == pytest.approx(whole.total)
+        assert left.counts == whole.counts
+        assert left.percentile(99) == whole.percentile(99)
+        assert left.exact
+
+    def test_histogram_merge_bounds_mismatch_raises(self):
+        a = LatencyHistogram("a", bounds=[1.0])
+        b = LatencyHistogram("b", bounds=[2.0])
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_histogram_max_samples_bounds_memory(self):
+        h = LatencyHistogram("lat", bounds=[1.0, 10.0], max_samples=5)
+        for v in range(20):
+            h.observe(float(v))
+        assert len(h.samples) == 5
+        assert h.dropped_samples == 15
+        assert h.count == 20
+        assert h.total == sum(range(20))
+        assert not h.exact
+        # Percentiles degrade to the bucket estimator, not the biased
+        # retained prefix.
+        assert h.percentile(99) == pytest.approx(10.0)
+        assert "n=20" in h.render() and "max=19" in h.render()
+
+    def test_histogram_merge_respects_max_samples(self):
+        big = LatencyHistogram("node", bounds=[1.0, 10.0])
+        for v in (0.5, 2.0, 12.0):
+            big.observe(v)
+        rollup = LatencyHistogram("fleet", bounds=[1.0, 10.0],
+                                  max_samples=2)
+        rollup.merge(big)
+        assert rollup.count == 3
+        assert len(rollup.samples) == 2
+        assert rollup.dropped_samples == 1
+        with pytest.raises(ValueError):
+            LatencyHistogram("h", max_samples=-1)
 
     def test_registry_render(self):
         m = Metrics()
