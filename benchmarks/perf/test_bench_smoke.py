@@ -13,8 +13,14 @@ import sys
 import pytest
 
 from repro.harness.perf import (
+    BATCH16_GATE_QUICK,
+    COMPILED_GATE_QUICK,
     HEADLINE,
+    batch16_headline_speedup,
+    bench_batch_sweep,
+    bench_compiled_rnn,
     bench_functional_rnn,
+    compiled_headline_speedup,
     headline_speedup,
     render_table,
     results_from_json,
@@ -36,7 +42,10 @@ def test_quick_suite_payload_shape(quick_payload):
     head = quick_payload["headline"]
     assert (head["kind"], head["hidden"], head["config"]) == HEADLINE
     names = {(r["name"], r["config"]) for r in quick_payload["results"]}
-    assert (f"functional_{HEADLINE[0]}_h{HEADLINE[1]}", HEADLINE[2]) in names
+    kind, hidden, cfg = HEADLINE
+    assert (f"functional_{kind}_h{hidden}", cfg) in names
+    assert (f"compiled_{kind}_h{hidden}", cfg) in names
+    assert (f"batched_{kind}_h{hidden}_b16", cfg) in names
     for row in quick_payload["results"]:
         assert row["unit_ms"] > 0
         assert row["repeats"] >= 1
@@ -50,6 +59,20 @@ def test_headline_vectorized_beats_naive(quick_payload):
         f"headline LSTM — the perf layer regressed")
 
 
+def test_headline_compiled_beats_vectorized(quick_payload):
+    results = results_from_json(quick_payload)
+    speedup = compiled_headline_speedup(results)
+    assert speedup is not None
+    assert speedup >= COMPILED_GATE_QUICK, (
+        f"compiled replay is {speedup:.2f}x the vectorized interpreter "
+        f"on the headline LSTM — the replay layer regressed")
+    agg = batch16_headline_speedup(results)
+    assert agg is not None
+    assert agg >= BATCH16_GATE_QUICK, (
+        f"batch=16 replay aggregate throughput is only {agg:.2f}x the "
+        f"vectorized interpreter — the batched layer regressed")
+
+
 def test_render_and_roundtrip(quick_payload):
     results = results_from_json(quick_payload)
     table = render_table(results)
@@ -60,9 +83,14 @@ def test_render_and_roundtrip(quick_payload):
 
 def test_bench_result_guards_divergence():
     """The harness itself must reject a divergent fast path — spot-check
-    the equivalence assertion runs (it raises, not warns, on mismatch)."""
+    the equivalence assertions run (they raise, not warn, on mismatch)."""
     res = bench_functional_rnn("lstm", 128, BW_S5, steps=2, repeats=1)
     assert res.speedup is not None  # warm-up equivalence check passed
+    res = bench_compiled_rnn("lstm", 128, BW_S5, steps=2, repeats=1)
+    assert res.speedup is not None
+    rows = bench_batch_sweep("lstm", 128, BW_S5, batches=(2,), steps=2,
+                             repeats=1)
+    assert rows[0].speedup is not None
 
 
 def test_cli_driver_writes_json(tmp_path, capsys):

@@ -18,7 +18,10 @@ Commands:
 * ``trace <workload>`` — run a workload with :mod:`repro.obs` tracing
   and write a Chrome/Perfetto ``trace.json`` plus a metrics summary;
 * ``fuzz`` — differential conformance fuzzing of the ISA executors
-  against the reference interpreter (see docs/TESTING.md);
+  (reference interpreter, both simulator paths, compiled replay, and
+  batched replay; see docs/TESTING.md);
+* ``bench`` — run the perf suite (quick or full) and gate on the
+  headline speedups, optionally emitting the JSON payload;
 * ``specialize <kind> <hidden> <device>`` — best synthesis-specialized
   instance for a model on a device.
 """
@@ -334,6 +337,44 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from .harness.perf import (headline_gates, render_table,
+                               results_from_json, run_suite)
+    quick = args.mode == "quick"
+    payload = run_suite(quick=quick)
+    results = results_from_json(payload)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_table(results))
+        print()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(json.dumps(payload, indent=2) + "\n")
+        if not args.json:
+            print(f"wrote {args.output}")
+    head = payload["headline"]
+    workload = (f"headline {head['kind']} h={head['hidden']} on "
+                f"{head['config']}")
+    rc = 0
+    for label, speedup, floor in headline_gates(results, quick):
+        if speedup is None:
+            print(f"{workload}: {label} missing from results",
+                  file=sys.stderr)
+            rc = max(rc, 2)
+            continue
+        if not args.json:
+            print(f"{workload}: {label} is {speedup:.2f}x "
+                  f"(floor {floor}x)")
+        if speedup < floor:
+            print(f"FAIL: {label} below the {floor}x floor",
+                  file=sys.stderr)
+            rc = max(rc, 1)
+    return rc
+
+
 def _cmd_specialize(args) -> int:
     from .synthesis import best_config, device_by_name, rnn_requirements
     try:
@@ -472,7 +513,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "fuzz",
         help="differential conformance fuzzing: random ISA programs on "
-             "the reference interpreter vs both simulator paths")
+             "the reference interpreter vs both simulator paths, "
+             "compiled replay, and batched replay")
     p.add_argument("--seed", type=int, default=0,
                    help="first case seed (campaign runs seed..seed+n-1)")
     p.add_argument("--iterations", type=int, default=100,
@@ -496,6 +538,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--progress", action="store_true",
                    help="print progress to stderr")
     p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the perf suite and gate on the headline speedups "
+             "(vectorized vs naive, compiled replay, batched replay)")
+    p.add_argument("mode", nargs="?", default="quick",
+                   choices=["quick", "full"],
+                   help="workload sizes: quick CI smoke or the full "
+                        "BENCH_perf.json suite")
+    p.add_argument("--json", action="store_true",
+                   help="print the result payload as JSON instead of "
+                        "the table")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="also write the JSON payload to this path")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("specialize",
                        help="pick the best instance for a model")

@@ -24,6 +24,7 @@ import numpy as np
 from ..config import NpuConfig
 from ..errors import CompileError
 from ..functional.executor import FunctionalSimulator
+from ..functional.replay import BatchedReplay
 from ..isa.memspace import MemId
 from ..isa.program import NpuProgram, ProgramBuilder
 from ..models.cnn import ConvSpec, im2col
@@ -87,28 +88,88 @@ class CompiledModel:
         return self.allocator.used(MemId.MatrixRf)
 
     def run_sequence(self, xs: List[np.ndarray], exact: bool = False,
-                     sim: Optional[FunctionalSimulator] = None
-                     ) -> List[np.ndarray]:
-        """Run a recurrent model over a sequence of input vectors."""
+                     sim: Optional[FunctionalSimulator] = None,
+                     compiled: bool = False) -> List[np.ndarray]:
+        """Run a recurrent model over a sequence of input vectors.
+
+        ``compiled=True`` executes through the simulator's compiled
+        replay plan (bit-identical; see
+        :mod:`repro.functional.replay`).
+        """
         if not self.is_recurrent:
             raise CompileError(f"{self.name} is not a recurrent model")
         if sim is None:
             sim = self.new_simulator(exact=exact)
         for x in xs:
             self._push_padded(sim, x)
-        sim.run(self.program, bindings={self.steps_binding: len(xs)})
+        sim.run(self.program, bindings={self.steps_binding: len(xs)},
+                compiled=compiled)
         return self._collect_outputs(sim, len(xs))
 
     def run_single(self, x: np.ndarray, exact: bool = False,
-                   sim: Optional[FunctionalSimulator] = None) -> np.ndarray:
+                   sim: Optional[FunctionalSimulator] = None,
+                   compiled: bool = False) -> np.ndarray:
         """Run a feed-forward (non-recurrent) model on one input."""
         if self.is_recurrent:
             raise CompileError(f"{self.name} is recurrent; use run_sequence")
         if sim is None:
             sim = self.new_simulator(exact=exact)
         self._push_padded(sim, x)
-        sim.run(self.program, bindings={self.steps_binding: 1})
+        sim.run(self.program, bindings={self.steps_binding: 1},
+                compiled=compiled)
         return self._collect_outputs(sim, 1)[0]
+
+    def run_sequence_batched(self, xs_batch: List[List[np.ndarray]],
+                             sim: Optional[FunctionalSimulator] = None
+                             ) -> List[List[np.ndarray]]:
+        """Run B independent input sequences through one batched replay.
+
+        All sequences must have the same length (they step in lockstep
+        through one compiled plan). Returns one output list per request,
+        each bit-identical to a sequential
+        ``run_sequence(xs_batch[b], compiled=True)`` on a fresh
+        simulator — the batched-execution contract asserted by the
+        four-way differential fuzzer and the perf benchmarks.
+        """
+        if not self.is_recurrent:
+            raise CompileError(f"{self.name} is not a recurrent model")
+        batch = len(xs_batch)
+        if batch == 0:
+            return []
+        steps = len(xs_batch[0])
+        if any(len(xs) != steps for xs in xs_batch):
+            raise CompileError(
+                f"{self.name}: batched sequences must share one length")
+        if sim is None:
+            sim = self.new_simulator()
+        replay = BatchedReplay(sim, self.program, batch,
+                               bindings={self.steps_binding: steps})
+        n = self.config.native_dim
+        entries = self.input_vectors_per_step
+        for t in range(steps):
+            padded = np.zeros((batch, entries * n), dtype=np.float32)
+            for r, xs in enumerate(xs_batch):
+                x = np.asarray(xs[t], dtype=np.float32).reshape(-1)
+                if x.shape[0] != self.input_length:
+                    raise CompileError(
+                        f"{self.name}: input length {x.shape[0]} != "
+                        f"expected {self.input_length}")
+                padded[r, :x.shape[0]] = x
+            for i in range(entries):
+                replay.push_input(padded[:, i * n:(i + 1) * n])
+        replay.run()
+        per_step = self.output_vectors_per_step
+        results = []
+        for vectors in replay.pop_outputs():
+            if len(vectors) != steps * per_step:
+                raise CompileError(
+                    f"{self.name}: expected {steps * per_step} output "
+                    f"vector(s), got {len(vectors)}")
+            results.append([
+                np.concatenate(vectors[t * per_step:(t + 1) * per_step]
+                               )[:self.output_length]
+                for t in range(steps)])
+        return results
 
     def _push_padded(self, sim: FunctionalSimulator, x: np.ndarray) -> None:
         n = self.config.native_dim

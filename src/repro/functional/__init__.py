@@ -1,6 +1,10 @@
 """Functional (architectural) simulation of the BW NPU."""
 
 from .executor import ExecutionStats, FunctionalSimulator
+from .replay import BatchedReplay, ReplayExecutor, ReplayPlan, compile_plan
 from . import ops
 
-__all__ = ["ExecutionStats", "FunctionalSimulator", "ops"]
+__all__ = [
+    "ExecutionStats", "FunctionalSimulator", "ops",
+    "BatchedReplay", "ReplayExecutor", "ReplayPlan", "compile_plan",
+]

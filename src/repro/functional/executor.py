@@ -33,7 +33,8 @@ from ..isa.program import NpuProgram, SetScalar
 from ..memory.dram import Dram
 from ..memory.netq import NetworkQueues
 from ..memory.regfile import MatrixRegisterFile, VectorRegisterFile
-from ..numerics.bfp import BfpFormat, decompose, quantize, to_float16
+from ..numerics.bfp import (BfpFormat, decompose, quantize, scales_of,
+                            to_float16)
 from ..obs import Metrics, Tracer, or_null, or_null_metrics
 from . import ops
 
@@ -41,6 +42,9 @@ from . import ops
 _INPUT_CACHE_SLOTS = 256
 #: Derived (mantissa/float64) weight windows kept per simulator.
 _DERIVED_WINDOW_SLOTS = 64
+#: Compiled replay plans kept per simulator (one per resident program
+#: binding — the serving model holds a handful of programs at most).
+_PLAN_CACHE_SLOTS = 8
 
 
 @dataclasses.dataclass
@@ -108,6 +112,10 @@ class FunctionalSimulator:
         self._input_cache: "collections.OrderedDict[bytes, tuple]" = \
             collections.OrderedDict()
         self._derived_windows: "collections.OrderedDict[Tuple[int, int, int], tuple]" = \
+            collections.OrderedDict()
+        #: Compiled replay plans, keyed by (program uid, bindings, entry
+        #: scalar registers); see :meth:`plan_for`.
+        self._plans: "collections.OrderedDict[tuple, object]" = \
             collections.OrderedDict()
         n = config.native_dim
         self.vrfs: Dict[MemId, VectorRegisterFile] = {
@@ -258,19 +266,58 @@ class FunctionalSimulator:
     # -- execution -----------------------------------------------------------
 
     def run(self, program: NpuProgram,
-            bindings: Optional[Dict[str, int]] = None) -> ExecutionStats:
-        """Execute ``program`` to completion; returns dynamic stats."""
+            bindings: Optional[Dict[str, int]] = None,
+            compiled: bool = False) -> ExecutionStats:
+        """Execute ``program`` to completion; returns dynamic stats.
+
+        With ``compiled=True`` the program is first compiled (and cached,
+        see :meth:`plan_for`) into a flat replay plan — same architectural
+        results, statistics, spans, and counters, executed without
+        per-event dispatch (:mod:`repro.functional.replay`). One timing
+        divergence: a run that *raises* may leave stats/clock/scalar
+        registers behind the interpreter's (totals apply on success), and
+        a missing loop binding raises before any event executes.
+        """
         span = self.tracer.begin("run", float(self._trace_clock),
                                  track="executor")
-        for event in program.events(bindings):
-            if isinstance(event, SetScalar):
-                self._set_scalar(event)
-            else:
-                self.execute_chain(event)
+        if compiled:
+            from .replay import ReplayExecutor
+            ReplayExecutor(self, self.plan_for(program, bindings)).run()
+        else:
+            for event in program.events(bindings):
+                if isinstance(event, SetScalar):
+                    self._set_scalar(event)
+                else:
+                    self.execute_chain(event)
         self.tracer.end(span, float(self._trace_clock),
                         instructions=self.stats.instructions_executed,
                         chains=self.stats.chains_executed)
         return self.stats
+
+    def plan_for(self, program: NpuProgram,
+                 bindings: Optional[Dict[str, int]] = None):
+        """Compiled replay plan for ``program``, cached on this simulator.
+
+        The cache key covers everything compilation depends on: the
+        program identity, the loop bindings, and the entry scalar
+        registers (compile-time control folding). Plans survive MRF
+        rewrites — pre-bound weight decompositions revalidate against the
+        MRF generation counter on every execution.
+        """
+        key = (program.uid, tuple(sorted((bindings or {}).items())),
+               self.scalar_regs[ScalarReg.Rows],
+               self.scalar_regs[ScalarReg.Columns],
+               self.scalar_regs[ScalarReg.Iterations])
+        plan = self._plans.get(key)
+        if plan is None:
+            from .replay import compile_plan
+            plan = compile_plan(self, program, bindings)
+            self._plans[key] = plan
+            while len(self._plans) > _PLAN_CACHE_SLOTS:
+                self._plans.popitem(last=False)
+        else:
+            self._plans.move_to_end(key)
+        return plan
 
     def _tick(self, name: str, **attrs) -> None:
         """Retire one instruction: advance the trace clock one tick and
@@ -563,9 +610,7 @@ class FunctionalSimulator:
             mant, exps = decompose(value, self._bfp)
             if self._pack_slots:
                 mant = mant.astype(np.float64)  # packed path runs f64 GEMVs
-            scales = np.exp2(
-                (exps - self._bfp.mantissa_bits + 1).astype(np.float64)
-            ).reshape(value.shape[0], 1)
+            scales = scales_of(exps, self._bfp).reshape(value.shape[0], 1)
             entry[0] = (mant, scales)
         return entry[0]
 
@@ -612,9 +657,7 @@ class FunctionalSimulator:
             blocks = np.ascontiguousarray(
                 window.reshape(rows * n, cols, n).transpose(1, 0, 2))
             mant, exps = decompose(blocks.reshape(-1, n), self._bfp)
-            scales = np.exp2(
-                (exps - self._bfp.mantissa_bits + 1).astype(np.float64)
-            ).reshape(cols, rows * n)
+            scales = scales_of(exps, self._bfp).reshape(cols, rows * n)
             mant = mant.reshape(cols, rows * n, n)
             if self._pack_slots:
                 mant = self._pack_rows(mant, cols, rows * n, n)

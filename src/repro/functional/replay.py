@@ -1,0 +1,1269 @@
+"""Compiled program replay: flat execution plans over a resident model.
+
+The functional executor interprets an :class:`~repro.isa.program.NpuProgram`
+event by event — every timestep of an RNN re-decodes the same operand
+indices, re-validates the same chains, and re-hashes the same weight
+windows through the LRU caches. For the paper's serving model (one
+resident model, a stream of low-latency requests) that per-dispatch
+Python overhead dominates once the numeric kernels are vectorized.
+
+This module compiles a program **once** into a flat :class:`ReplayPlan`:
+
+* loops unrolled into a linear step list, scalar control flow folded to
+  compile-time constants (``s_wr`` becomes a static plan entry);
+* operand addresses resolved to pre-bound numpy views of the register
+  files (valid forever: VRF/MRF storage is allocated once and written
+  in place);
+* ``mv_mul`` weight windows pre-decomposed into the executor's BFP
+  operand layout, revalidated cheaply against the MRF ``generation``
+  counter so ``m_wr``/``load_matrix`` between (or during) runs recompile
+  nothing but rebind the weights;
+* consecutive ``mv_mul`` chains reading the *same* VRF head fused into
+  one stacked GEMV (:class:`_MvGroup`) — the LSTM's four gate matrices
+  against one input vector become one matmul — legal only on the
+  exact-integer mantissa paths, where the stacked dot products are
+  bit-identical to the per-chain ones.
+
+:class:`ReplayExecutor` then runs the plan as a tight loop with no
+decode, no validation, and no cache hashing; per-run statistics and the
+trace clock are applied as precomputed totals (or emitted live when a
+tracer/metrics sink is attached — the observed replay produces the
+*same* spans and counters as the interpreter). :class:`BatchedReplay`
+runs B independent requests through one plan by stacking every piece of
+architectural state along a new leading batch axis; the quantize,
+GEMV, and pointwise kernels all vectorize batch-wise, and on the
+exact-integer paths the batched results are bit-identical to B
+sequential runs.
+
+Bit-exactness contract (checked by the four-way differential fuzzer in
+:mod:`repro.verify` and by ``tests/test_replay_equivalence.py``):
+compiled output state, outputs, ``ExecutionStats``, op counters, and
+trace spans equal the vectorized interpreter's exactly. Statically
+invalid constructs (out-of-bounds operands, over-capacity chains)
+compile into *fallback steps* that delegate to the interpreter so error
+types, positions, and partial side effects match; a plan containing
+fallback steps is not batchable. One intentional divergence: on a run
+that raises, the compiled path's stats/clock/scalar registers may lag
+the interpreter's (totals are applied at successful completion) —
+differential comparisons only inspect state when no engine raised.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ChainCapacityError, ExecutionError, MemoryError_, \
+    NetworkQueueEmptyError
+from ..isa.chain import InstructionChain
+from ..isa.memspace import MemId, ScalarReg
+from ..isa.opcodes import Opcode
+from ..isa.program import NpuProgram, SetScalar
+from ..memory.regfile import MatrixRegisterFile
+from ..numerics.bfp import decompose, quantize, scales_of, to_float16
+from . import ops
+
+# Piece kinds inside a compiled vector step (dispatch tags).
+_MV, _BIN, _UN, _WR_VRF, _WR_NETQ, _WR_DRAM = range(6)
+# Head kinds.
+_H_VRF, _H_NETQ, _H_DRAM = range(3)
+# mv_mul compute modes (mirror the executor's fast-path selection).
+_MODE_PACKED, _MODE_MANTISSA, _MODE_F64 = range(3)
+
+
+def _unpack_slots(packed_dots: np.ndarray, k: int, w: int) -> np.ndarray:
+    """Batch-shaped twin of ``FunctionalSimulator._unpack``.
+
+    ``packed_dots`` is (..., G); returns (..., G*k) — the same prefix
+    isolation and adjacent-prefix differencing as the executor, with
+    arbitrary leading axes and no tail trim (callers slice per member).
+    Every element-wise operation matches the executor's bit for bit.
+    """
+    inv = np.exp2(-w * (k - 1 - np.arange(k, dtype=np.float64)))
+    prefixes = np.rint(packed_dots[..., np.newaxis, :] * inv[:, np.newaxis])
+    dots = prefixes.copy()
+    dots[..., 1:, :] -= prefixes[..., :-1, :] * float(np.exp2(w))
+    lead = dots.shape[:-2]
+    return np.swapaxes(dots, -1, -2).reshape(*lead, -1)
+
+
+class _MvGroup:
+    """One stacked mega-SIMD MVM shared by one or more fused chains.
+
+    Members are consecutive ``mv_mul`` chains reading the same VRF head
+    with the same column count; their weight windows are concatenated
+    along the output-row axis so one GEMV per column block yields every
+    member's block dots. Stacking is exact on the packed and
+    mantissa-GEMV paths (integer dot products are order-insensitive),
+    so member outputs are bit-identical to per-chain execution; the
+    float64/exact path keeps one member per group.
+
+    Stacked operands are cached against the MRF ``generation`` counter:
+    an ``m_wr`` or :meth:`~repro.functional.FunctionalSimulator.load_matrix`
+    between (or during) compiled runs rebinds the weights on the next
+    compute — the plan-cache invalidation required when matrix
+    registers are rewritten.
+    """
+
+    __slots__ = ("mode", "members", "cols", "n", "tiles", "offsets",
+                 "padded_offsets", "groups_total", "total_rows",
+                 "_generation", "_operands", "_batched_generation",
+                 "_batched_operands", "outputs")
+
+    def __init__(self, sim, members: List[Tuple[int, int]], cols: int):
+        self.members = tuple(members)  # (mrf_base, rows) per member
+        self.cols = cols
+        self.n = sim.config.native_dim
+        if sim._pack_slots:
+            self.mode = _MODE_PACKED
+        elif sim._mantissa_gemv:
+            self.mode = _MODE_MANTISSA
+        else:
+            self.mode = _MODE_F64
+        self.tiles = sum(rows * cols for _, rows in self.members)
+        n = self.n
+        offsets, off = [], 0
+        padded_offsets, poff = [], 0
+        k = sim._pack_slots or 1
+        for _, rows in self.members:
+            offsets.append(off)
+            off += rows * n
+            padded_offsets.append(poff)
+            poff += -(-(rows * n) // k) * k
+        self.offsets = tuple(offsets)
+        self.total_rows = off
+        self.padded_offsets = tuple(padded_offsets)
+        self.groups_total = poff // k
+        self._generation = None
+        self._operands = None
+        self._batched_generation = None
+        self._batched_operands = None
+        self.outputs = None
+
+    # -- operand binding ---------------------------------------------------
+
+    def _refresh(self, sim) -> tuple:
+        """(Re)stack the members' decomposed weight windows.
+
+        Uses the executor's own ``_window_operands`` per member, so
+        per-window derivations, LRU accounting, and ``mrf.reads``
+        attribution match the interpreter exactly.
+        """
+        parts = [sim._window_operands(base, rows, self.cols)
+                 for base, rows in self.members]
+        if self.mode == _MODE_PACKED:
+            k = sim._pack_slots
+            if len(parts) == 1:
+                w_stack = parts[0][0]
+            else:
+                w_stack = np.concatenate([p[0] for p in parts], axis=1)
+            # Scales live at the *unpadded* row positions of each
+            # member's padded slot range; padding rows carry zero
+            # mantissas and zero scales, so their terms vanish exactly.
+            scales = np.zeros((self.cols, self.groups_total * k))
+            for (_, rows), off, part in zip(self.members,
+                                            self.padded_offsets, parts):
+                scales[:, off:off + rows * self.n] = part[1]
+        else:
+            if len(parts) == 1:
+                w_stack, scales = parts[0]
+            else:
+                w_stack = np.concatenate([p[0] for p in parts], axis=1)
+                scales = np.concatenate([p[1] for p in parts], axis=1)
+        return w_stack, scales
+
+    def _bound_operands(self, sim) -> tuple:
+        mrf = sim.mrf
+        if self._generation != mrf.generation:
+            self._operands = self._refresh(sim)
+            self._generation = mrf.generation
+        else:
+            # Architectural tile reads still occur on every mv_mul; the
+            # interpreter accounts them on window-cache hits too.
+            mrf.reads += self.tiles
+        return self._operands
+
+    def _batched_scratch(self, w_scales: np.ndarray, batch: int, k: int
+                         ) -> tuple:
+        """Persistent work buffers for the batched packed epilogue.
+
+        Unpacking k slot dots per float64 lane churns several
+        (cols, B, k, groups) temporaries per call; allocating them once
+        and writing through ``out=`` keeps the epilogue off the
+        allocator (large numpy temporaries are mmap-backed, so fresh
+        ones fault in pages every call). Rebuilt when the batch size or
+        the weight scales (MRF generation) change.
+        """
+        key = (batch, self._generation)
+        if self._batched_generation != key:
+            cols = self.cols
+            gp = self.groups_total
+            # Scale layout matching the unpack layout: slot t of packed
+            # group g is unpadded row g*k + t.
+            ws_kgp = np.ascontiguousarray(
+                w_scales.reshape(cols, gp, k).transpose(0, 2, 1))
+            self._batched_operands = (
+                ws_kgp,
+                np.empty((cols, batch, gp)),        # packed GEMM out
+                np.empty((cols, batch, k, gp)),     # slot prefixes
+                np.empty((cols, batch, k, gp)),     # slot dots
+                np.empty((batch, k, gp)),           # column accumulator
+            )
+            self._batched_generation = key
+        return self._batched_operands
+
+    # -- single-request compute --------------------------------------------
+
+    def compute(self, sim, value: np.ndarray) -> None:
+        if self.mode == _MODE_F64:
+            base, rows = self.members[0]
+            blocks = sim._window_blocks_f64(base, rows, self.cols)
+            self.outputs = (self._f64_member(sim, value, blocks, rows),)
+            return
+        w_stack, w_scales = self._bound_operands(sim)
+        mant, exps = decompose(value, sim._bfp)
+        x_scales = scales_of(exps, sim._bfp).reshape(self.cols, 1)
+        if self.mode == _MODE_PACKED:
+            x_mant = mant.astype(np.float64)
+            packed = np.matmul(w_stack, x_mant[:, :, np.newaxis])[:, :, 0]
+            dots = _unpack_slots(packed, sim._pack_slots, sim._pack_width)
+            terms = dots * (w_scales * x_scales)
+            acc = terms[0]
+            for c in range(1, self.cols):
+                acc = acc + terms[c]
+            starts = self.padded_offsets
+        else:
+            acc = ((w_stack[0] @ mant[0]).astype(np.float64)
+                   * (w_scales[0] * x_scales[0]))
+            for c in range(1, self.cols):
+                acc += ((w_stack[c] @ mant[c]).astype(np.float64)
+                        * (w_scales[c] * x_scales[c]))
+            starts = self.offsets
+        out = acc.astype(np.float32)
+        out = to_float16(out)
+        n = self.n
+        self.outputs = tuple(
+            out[start:start + rows * n].reshape(rows, n)
+            for (_, rows), start in zip(self.members, starts))
+
+    def _f64_member(self, sim, value: np.ndarray, blocks: np.ndarray,
+                    rows: int) -> np.ndarray:
+        """Single-member float64/exact MVM (mirrors the interpreter's
+        stacked-f64 fallback, including the finishing rounds)."""
+        if sim.exact:
+            inputs = value.astype(np.float64)
+        else:
+            inputs = sim._quantized_input_f64(value)
+        acc = blocks[0] @ inputs[0]
+        for c in range(1, self.cols):
+            acc += blocks[c] @ inputs[c]
+        out = acc.reshape(rows, self.n).astype(np.float32)
+        return out if sim.exact else to_float16(out)
+
+    # -- batched compute ---------------------------------------------------
+
+    def compute_batched(self, bstate, value: np.ndarray) -> None:
+        """Compute all members for a (B, cols, N) head stack.
+
+        With the MRF still shared across requests the stacked operands
+        go through one batched matmul; once the plan has rewritten
+        matrix registers (per-request MRFs), operands are derived per
+        request and applied one request at a time — identical math,
+        identical bits, just without the batch-axis speedup.
+        """
+        sim = bstate.sim
+        batch = bstate.batch
+        if bstate._mrfs is not None:
+            per_member = [[] for _ in self.members]
+            for b in range(batch):
+                outs = self._compute_one_request(sim, bstate._mrfs[b],
+                                                 value[b])
+                for i, out in enumerate(outs):
+                    per_member[i].append(out)
+            self.outputs = tuple(np.stack(outs) for outs in per_member)
+            return
+        if self.mode == _MODE_F64:
+            base, rows = self.members[0]
+            blocks = sim._window_blocks_f64(base, rows, self.cols)
+            self.outputs = (np.stack([
+                self._f64_member(sim, value[b], blocks, rows)
+                for b in range(batch)]),)
+            return
+        w_stack, w_scales = self._bound_operands(sim)
+        self.outputs = self._apply_batched(sim, value, w_stack, w_scales)
+
+    def _apply_batched(self, sim, value: np.ndarray, w_stack: np.ndarray,
+                       w_scales: np.ndarray) -> tuple:
+        # The GEMMs batch requests along the GEMM's N dimension — that
+        # is what amortizes the weight traffic; a (B, ...) batched
+        # matmul would degrade to B separate GEMVs. Every dot product
+        # is an exact integer, so the batched results equal the
+        # per-request GEMVs bit for bit; scale products and the
+        # column-block summation keep the reference operation order.
+        mant, exps = decompose(value, sim._bfp)  # (B, cols, N)
+        batch = value.shape[0]
+        cols = self.cols
+        x_scales = scales_of(exps, sim._bfp).reshape(batch, cols, 1)
+        if self.mode == _MODE_PACKED:
+            k, width = sim._pack_slots, sim._pack_width
+            ws_kgp, packed, pref, dots, accb = \
+                self._batched_scratch(w_scales, batch, k)
+            x = mant.astype(np.float64)
+            for c in range(cols):
+                np.matmul(x[:, c], w_stack[c].T, out=packed[c])
+            # Unpack the k slot dots per lane in (.., k, groups) layout
+            # (one transposing copy at the very end instead of one per
+            # column block): dots[t] = pref[t] - pref[t-1] * 2^w.
+            inv = np.exp2(-width * (k - 1 - np.arange(k,
+                                                      dtype=np.float64)))
+            np.multiply(packed[:, :, np.newaxis, :], inv[:, np.newaxis],
+                        out=pref)
+            np.rint(pref, out=pref)
+            two_w = float(np.exp2(width))
+            dots[:, :, 0] = pref[:, :, 0]
+            np.multiply(pref[:, :, :-1], two_w, out=dots[:, :, 1:])
+            np.subtract(pref[:, :, 1:], dots[:, :, 1:],
+                        out=dots[:, :, 1:])
+            # terms = dots * (w_scales * x_scales). Both scale factors
+            # are exact powers of two, so the two in-place multiplies
+            # equal the reference's dots * (ws * xs) bit for bit.
+            np.multiply(dots, ws_kgp[:, np.newaxis], out=dots)
+            np.multiply(dots, x_scales.transpose(1, 0, 2)[..., np.newaxis],
+                        out=dots)
+            if cols == 1:
+                acc = dots[0]
+            else:
+                np.add(dots[0], dots[1], out=accb)
+                for c in range(2, cols):
+                    np.add(accb, dots[c], out=accb)
+                acc = accb
+            # (B, k, groups) -> (B, groups, k) -> rows g*k + t.
+            out = acc.transpose(0, 2, 1).astype(np.float32)
+            out = out.reshape(batch, -1)
+            starts = self.padded_offsets
+        else:
+            acc = (np.matmul(mant[:, 0], w_stack[0].T).astype(np.float64)
+                   * (w_scales[0] * x_scales[:, 0]))
+            for c in range(1, cols):
+                acc += (np.matmul(mant[:, c], w_stack[c].T)
+                        .astype(np.float64)
+                        * (w_scales[c] * x_scales[:, c]))
+            out = acc.astype(np.float32)
+            starts = self.offsets
+        out = to_float16(out)
+        n = self.n
+        return tuple(
+            out[:, start:start + rows * n].reshape(batch, rows, n)
+            for (_, rows), start in zip(self.members, starts))
+
+    def _compute_one_request(self, sim, mrf: MatrixRegisterFile,
+                             value: np.ndarray) -> list:
+        """All member outputs for one request against a private MRF.
+
+        Re-derives operands with the same formulas as the executor's
+        ``_window_operands`` / ``_window_blocks_f64`` (windows cache
+        inside the private MRF against its own generation counter).
+        """
+        n = self.n
+        cols = self.cols
+        outs = []
+        if self.mode == _MODE_F64:
+            base, rows = self.members[0]
+            window = mrf.read_window(base, rows, cols)
+            blocks = np.ascontiguousarray(
+                window.reshape(rows * n, cols, n)
+                .transpose(1, 0, 2).astype(np.float64))
+            return [self._f64_member(sim, value, blocks, rows)]
+        mant_x, exps = decompose(value, sim._bfp)
+        x_scales = scales_of(exps, sim._bfp).reshape(cols, 1)
+        for base, rows in self.members:
+            window = mrf.read_window(base, rows, cols)
+            blocks = np.ascontiguousarray(
+                window.reshape(rows * n, cols, n).transpose(1, 0, 2))
+            w_mant, w_exps = decompose(blocks.reshape(-1, n), sim._bfp)
+            w_scales = scales_of(w_exps, sim._bfp).reshape(cols, rows * n)
+            w_mant = w_mant.reshape(cols, rows * n, n)
+            if self.mode == _MODE_PACKED:
+                w_mant = sim._pack_rows(w_mant, cols, rows * n, n)
+                x_mant = mant_x.astype(np.float64)
+                packed = np.matmul(w_mant,
+                                   x_mant[:, :, np.newaxis])[:, :, 0]
+                dots = sim._unpack(packed, rows * n)
+                terms = dots * (w_scales * x_scales)
+                if cols == 1:
+                    acc = terms.reshape(-1)
+                else:
+                    acc = terms[0] + terms[1]
+                    for c in range(2, cols):
+                        acc += terms[c]
+            else:
+                acc = ((w_mant[0] @ mant_x[0]).astype(np.float64)
+                       * (w_scales[0] * x_scales[0]))
+                for c in range(1, cols):
+                    acc += ((w_mant[c] @ mant_x[c]).astype(np.float64)
+                            * (w_scales[c] * x_scales[c]))
+            out = acc.reshape(rows, n).astype(np.float32)
+            outs.append(to_float16(out))
+        return outs
+
+
+# ---------------------------------------------------------------------------
+# Compiled steps
+# ---------------------------------------------------------------------------
+
+class _ScalarStep:
+    """A folded ``s_wr``: no run-time work — the final register state
+    and the instruction/tick tallies are precomputed on the plan."""
+
+    __slots__ = ("reg", "value")
+
+    def __init__(self, reg: ScalarReg, value: int):
+        self.reg = reg
+        self.value = value
+
+    def run(self, sim) -> None:
+        pass
+
+    def run_observed(self, sim) -> None:
+        sim._tick("set_scalar", reg=self.reg.name, value=self.value)
+
+    def run_batched(self, bstate) -> None:
+        pass
+
+
+class _MatrixStep:
+    """A compiled ``m_rd`` → ``m_wr`` tile move."""
+
+    __slots__ = ("src_netq", "src_index", "dst_mrf", "dst_index", "count",
+                 "rd_tick", "wr_tick", "length")
+
+    def __init__(self, src_netq, src_index, dst_mrf, dst_index, count,
+                 rd_tick, wr_tick):
+        self.src_netq = src_netq
+        self.src_index = src_index
+        self.dst_mrf = dst_mrf
+        self.dst_index = dst_index
+        self.count = count
+        self.rd_tick = rd_tick
+        self.wr_tick = wr_tick
+        self.length = 2
+
+    def _move(self, sim) -> None:
+        if self.src_netq:
+            tiles = sim.netq.pop_input_tiles(self.count)
+        else:
+            tiles = sim.dram.read_tiles(self.src_index, self.count)
+        if self.dst_mrf:
+            if not sim.exact:
+                tiles = quantize(tiles, sim._bfp)
+            sim.mrf.write_tiles(self.dst_index, tiles)
+        else:
+            sim.dram.write_tiles(self.dst_index, tiles)
+
+    def run(self, sim) -> None:
+        self._move(sim)
+
+    def run_observed(self, sim) -> None:
+        span = sim.tracer.begin("chain", float(sim._trace_clock),
+                                track="executor", matrix=True,
+                                instructions=3)
+        if self.src_netq:
+            tiles = sim.netq.pop_input_tiles(self.count)
+        else:
+            tiles = sim.dram.read_tiles(self.src_index, self.count)
+        name, attrs = self.rd_tick
+        sim._tick(name, **attrs)
+        if self.dst_mrf:
+            if not sim.exact:
+                tiles = quantize(tiles, sim._bfp)
+            sim.mrf.write_tiles(self.dst_index, tiles)
+        else:
+            sim.dram.write_tiles(self.dst_index, tiles)
+        name, attrs = self.wr_tick
+        sim._tick(name, **attrs)
+        sim.metrics.counter("executor.tiles_moved").inc(self.count)
+        sim._tick("end_chain")
+        sim.tracer.end(span, float(sim._trace_clock))
+        sim.metrics.counter("executor.chains").inc()
+
+    def run_batched(self, bstate) -> None:
+        sim = bstate.sim
+        if self.src_netq:
+            tiles = bstate._pop_input_tiles(self.count)  # (B, count, N, N)
+        else:
+            tiles = bstate._read_dram_tiles(self.src_index, self.count)
+        if self.dst_mrf:
+            mrfs = bstate._split_mrfs()
+            for b, mrf in enumerate(mrfs):
+                part = tiles[b]
+                if not sim.exact:
+                    part = quantize(part, sim._bfp)
+                mrf.write_tiles(self.dst_index, part)
+        else:
+            for i in range(self.count):
+                bstate._dram_tiles[self.dst_index + i] = \
+                    np.ascontiguousarray(tiles[:, i])
+
+
+class _VectorStep:
+    """A compiled vector chain: pre-bound head, flat piece list."""
+
+    __slots__ = ("head_kind", "head_view", "head_mem", "head_index",
+                 "width_in", "pieces", "head_tick", "piece_ticks", "length")
+
+    def __init__(self, head_kind, head_view, head_mem, head_index, width_in,
+                 pieces, head_tick, piece_ticks, length):
+        self.head_kind = head_kind
+        self.head_view = head_view
+        self.head_mem = head_mem
+        self.head_index = head_index
+        self.width_in = width_in
+        self.pieces = pieces
+        self.head_tick = head_tick
+        self.piece_ticks = piece_ticks
+        self.length = length
+
+    def _head(self, sim) -> np.ndarray:
+        kind = self.head_kind
+        if kind == _H_VRF:
+            return self.head_view
+        if kind == _H_NETQ:
+            return sim.netq.pop_input(self.width_in)
+        return sim.dram.read_vectors(self.head_index, self.width_in)
+
+    def run(self, sim) -> None:
+        value = self._head(sim)
+        exact = sim.exact
+        for p in self.pieces:
+            kind = p[0]
+            if kind == _MV:
+                group = p[1]
+                if p[2] == 0:
+                    group.compute(sim, value)
+                value = group.outputs[p[2]]
+            elif kind == _BIN:
+                value = p[1](value, p[2], exact=exact)
+            elif kind == _UN:
+                value = p[1](value, exact=exact)
+            elif kind == _WR_VRF:
+                if p[5]:
+                    value = value.copy()
+                p[1][...] = value
+            elif kind == _WR_NETQ:
+                sim.netq.push_output(value)
+            else:
+                sim.dram.write_vectors(p[1], value)
+
+    def run_observed(self, sim) -> None:
+        span = sim.tracer.begin("chain", float(sim._trace_clock),
+                                track="executor", matrix=False,
+                                instructions=self.length + 1)
+        value = self._head(sim)
+        name, attrs = self.head_tick
+        sim._tick(name, **attrs)
+        exact = sim.exact
+        for p, (name, attrs, counter, amount) in zip(self.pieces,
+                                                     self.piece_ticks):
+            kind = p[0]
+            if kind == _MV:
+                group = p[1]
+                if p[2] == 0:
+                    group.compute(sim, value)
+                value = group.outputs[p[2]]
+            elif kind == _BIN:
+                value = p[1](value, p[2], exact=exact)
+            elif kind == _UN:
+                value = p[1](value, exact=exact)
+            elif kind == _WR_VRF:
+                if p[5]:
+                    value = value.copy()
+                p[1][...] = value
+            elif kind == _WR_NETQ:
+                sim.netq.push_output(value)
+            else:
+                sim.dram.write_vectors(p[1], value)
+            if counter is not None:
+                sim.metrics.counter(counter).inc(amount)
+            sim._tick(name, **attrs)
+        sim._tick("end_chain")
+        sim.tracer.end(span, float(sim._trace_clock))
+        sim.metrics.counter("executor.chains").inc()
+
+    def run_batched(self, bstate) -> None:
+        sim = bstate.sim
+        kind = self.head_kind
+        if kind == _H_VRF:
+            value = bstate._vrf[self.head_mem][
+                :, self.head_index:self.head_index + self.width_in]
+        elif kind == _H_NETQ:
+            value = bstate._pop_input(self.width_in)
+        else:
+            value = bstate._read_dram_vectors(self.head_index,
+                                              self.width_in)
+        exact = sim.exact
+        for p in self.pieces:
+            kind = p[0]
+            if kind == _MV:
+                group = p[1]
+                if p[2] == 0:
+                    group.compute_batched(bstate, value)
+                value = group.outputs[p[2]]
+            elif kind == _BIN:
+                operand = bstate._vrf[p[3]][:, p[4]:p[4] + p[5]]
+                value = p[1](value, operand, exact=exact)
+            elif kind == _UN:
+                value = p[1](value, exact=exact)
+            elif kind == _WR_VRF:
+                if p[5]:
+                    value = value.copy()
+                bstate._vrf[p[2]][:, p[3]:p[3] + p[4]] = value
+            elif kind == _WR_NETQ:
+                bstate._push_outputs(value)
+            else:
+                for i in range(value.shape[1]):
+                    bstate._dram_vectors[p[1] + i] = \
+                        np.ascontiguousarray(value[:, i])
+
+
+class _FallbackStep:
+    """Interpreted escape hatch for statically invalid events.
+
+    Restores the compile-time scalar registers and delegates to the
+    interpreter, so the raised error type, its position in the event
+    stream, and any partial side effects match interpretation exactly.
+    Compilation marks everything from the first definitely-raising
+    event onward as fallback (it is unreachable on a successful run).
+    """
+
+    __slots__ = ("event", "rows", "cols")
+
+    def __init__(self, event, rows: int, cols: int):
+        self.event = event
+        self.rows = rows
+        self.cols = cols
+
+    def run(self, sim) -> None:
+        sim.scalar_regs[ScalarReg.Rows] = self.rows
+        sim.scalar_regs[ScalarReg.Columns] = self.cols
+        if isinstance(self.event, SetScalar):
+            sim._set_scalar(self.event)
+        else:
+            sim.execute_chain(self.event)
+
+    run_observed = run
+
+
+# ---------------------------------------------------------------------------
+# The plan
+# ---------------------------------------------------------------------------
+
+class ReplayPlan:
+    """A flat, pre-resolved execution plan for one program binding.
+
+    Immutable after compilation apart from the generation-checked
+    operand caches inside its :class:`_MvGroup` objects. Bound to the
+    simulator it was compiled for (views point into that simulator's
+    register files); :meth:`FunctionalSimulator.plan_for` caches plans
+    per (program uid, bindings, entry scalar registers).
+    """
+
+    __slots__ = ("program", "bindings_key", "entry_scalars",
+                 "final_scalars", "steps", "batchable", "chains",
+                 "instructions", "mv_muls", "macs", "pointwise_flops",
+                 "ticks", "vrf_reads", "vrf_writes", "vrf_footprints",
+                 "compiled_chains", "fallback_steps", "groups",
+                 "fused_groups")
+
+    def __init__(self, program, bindings_key, entry_scalars, final_scalars,
+                 steps, batchable, chains, instructions, mv_muls, macs,
+                 pointwise_flops, ticks, vrf_reads, vrf_writes,
+                 vrf_footprints, compiled_chains, fallback_steps, groups,
+                 fused_groups):
+        self.program = program
+        self.bindings_key = bindings_key
+        self.entry_scalars = entry_scalars
+        self.final_scalars = final_scalars
+        self.steps = steps
+        self.batchable = batchable
+        self.chains = chains
+        self.instructions = instructions
+        self.mv_muls = mv_muls
+        self.macs = macs
+        self.pointwise_flops = pointwise_flops
+        self.ticks = ticks
+        self.vrf_reads = vrf_reads
+        self.vrf_writes = vrf_writes
+        #: Per-VRF high-water mark of static accesses (MemId -> rows).
+        #: Batched replay replicates only this prefix of each register
+        #: file instead of the full (often mostly idle) depth.
+        self.vrf_footprints = vrf_footprints
+        self.compiled_chains = compiled_chains
+        self.fallback_steps = fallback_steps
+        self.groups = groups
+        self.fused_groups = fused_groups
+
+
+class _ChainTemplate:
+    """Compile-time description of one vector chain at fixed (rows, cols).
+
+    Turned into one or more `_VectorStep` objects once mv_mul grouping
+    is decided (the same template may appear in several loop
+    iterations, always with the same group assignment pattern)."""
+
+    __slots__ = ("head_kind", "head_view", "head_mem", "head_index",
+                 "width_in", "rows", "cols", "raw_pieces", "head_tick",
+                 "piece_ticks", "length", "mv_base", "vrf_reads",
+                 "vrf_writes", "vrf_extents", "flops",
+                 "writes_head_overlap")
+
+    def __init__(self):
+        self.raw_pieces = []
+        self.piece_ticks = []
+        self.vrf_reads = []
+        self.vrf_writes = []
+        self.vrf_extents = []  # (MemId, index + extent) per static access
+        self.flops = 0
+        self.mv_base = None
+        self.writes_head_overlap = False
+
+
+def _compile_vector_chain(sim, chain: InstructionChain, rows: int,
+                          cols: int) -> Optional[_ChainTemplate]:
+    """Compile one vector chain, or return None for fallback."""
+    n = sim.config.native_dim
+    t = _ChainTemplate()
+    t.rows, t.cols = rows, cols
+    t.length = len(chain)
+    width_in = cols if chain.has_mv_mul else rows
+    t.width_in = width_in
+
+    head = chain.source
+    t.head_mem = head.mem_id
+    t.head_index = head.index
+    t.head_view = None
+    if head.mem_id is MemId.NetQ:
+        t.head_kind = _H_NETQ
+    elif head.mem_id is MemId.Dram:
+        t.head_kind = _H_DRAM
+    else:
+        vrf = sim.vrfs.get(head.mem_id)
+        if vrf is None or not isinstance(head.index, int) \
+                or head.index < 0 or head.index + width_in > vrf.depth:
+            return None
+        t.head_kind = _H_VRF
+        t.head_view = vrf._data[head.index:head.index + width_in]
+        t.vrf_reads.append((vrf, width_in))
+        t.vrf_extents.append((head.mem_id, head.index + width_in))
+    t.head_tick = (head.opcode.name.lower(),
+                   {"mem": head.mem_id.name if head.mem_id else None,
+                    "index": head.index, "vectors": width_in})
+
+    # Alias window of the zero-copy VRF head (mem, index, width), using
+    # the interpreter's exact overlap test for the copy-on-write flag.
+    alias = (head.mem_id, head.index, width_in) \
+        if t.head_kind == _H_VRF else None
+
+    for instr in chain.instructions[1:]:
+        op = instr.opcode
+        tick = (op.name.lower(),
+                {"mem": instr.mem_id.name if instr.mem_id else None,
+                 "index": instr.index})
+        if op is Opcode.MV_MUL:
+            base = instr.index
+            if not isinstance(base, int) or base < 0 \
+                    or base + rows * cols > sim.config.mrf_address_space:
+                return None
+            t.mv_base = base
+            t.raw_pieces.append((_MV, None, None))
+            t.piece_ticks.append(tick + ("executor.macs",
+                                         rows * cols * n * n))
+            alias = None
+        elif op in ops.BINARY_KERNELS:
+            op_mem = MemId.MultiplyVrf if op is Opcode.VV_MUL \
+                else MemId.AddSubVrf
+            vrf = sim.vrfs[op_mem]
+            idx = instr.index
+            if not isinstance(idx, int) or idx < 0 \
+                    or idx + rows > vrf.depth:
+                return None
+            view = vrf._data[idx:idx + rows]
+            t.raw_pieces.append((_BIN, ops.BINARY_KERNELS[op], view,
+                                 op_mem, idx, rows))
+            t.piece_ticks.append(tick + ("executor.pointwise_flops",
+                                         rows * n))
+            t.vrf_reads.append((vrf, rows))
+            t.vrf_extents.append((op_mem, idx + rows))
+            t.flops += rows * n
+            alias = None
+        elif op in ops.UNARY_KERNELS:
+            t.raw_pieces.append((_UN, ops.UNARY_KERNELS[op]))
+            t.piece_ticks.append(tick + ("executor.pointwise_flops",
+                                         rows * n))
+            t.flops += rows * n
+            alias = None
+        elif op is Opcode.V_WR:
+            mem = instr.mem_id
+            if mem is MemId.NetQ:
+                t.raw_pieces.append((_WR_NETQ,))
+            elif mem is MemId.Dram:
+                if not isinstance(instr.index, int):
+                    return None
+                t.raw_pieces.append((_WR_DRAM, instr.index))
+            else:
+                vrf = sim.vrfs.get(mem)
+                idx = instr.index
+                if vrf is None or not isinstance(idx, int) or idx < 0 \
+                        or idx + rows > vrf.depth:
+                    return None
+                copy_first = False
+                if (alias is not None and mem is alias[0]
+                        and idx < alias[1] + alias[2]
+                        and alias[1] < idx + width_in):
+                    copy_first = True
+                    alias = None
+                view = vrf._data[idx:idx + rows]
+                t.raw_pieces.append((_WR_VRF, view, mem, idx, rows,
+                                     copy_first))
+                t.vrf_writes.append((vrf, rows))
+                t.vrf_extents.append((mem, idx + rows))
+                if (t.head_kind == _H_VRF and mem is t.head_mem
+                        and idx < t.head_index + width_in
+                        and t.head_index < idx + rows):
+                    t.writes_head_overlap = True
+            t.piece_ticks.append(tick + (None, 0))
+        else:  # pragma: no cover - chain validation prevents this
+            return None
+    return t
+
+
+def compile_plan(sim, program: NpuProgram,
+                 bindings: Optional[Dict[str, int]] = None) -> ReplayPlan:
+    """Compile ``program`` against ``sim``'s current scalar state.
+
+    Walks the (loop-unrolled) event stream with compile-time scalar
+    tracking, compiles every chain once per (rows, cols) context, fuses
+    runs of same-head ``mv_mul`` chains, and precomputes the run's
+    statistic/counter/clock totals.
+    """
+    rows = sim.scalar_regs[ScalarReg.Rows]
+    cols = sim.scalar_regs[ScalarReg.Columns]
+    iters = sim.scalar_regs[ScalarReg.Iterations]
+    entry_scalars = (rows, cols, iters)
+
+    # Pass 1: unroll and compile chain templates (dedup per context).
+    records = []  # ("scalar", event) | ("chain", template) | ("fb", event)
+    template_cache: Dict[tuple, object] = {}
+    broken = False
+    for event in program.events(bindings):
+        if broken:
+            records.append(("fb", event, rows, cols))
+            continue
+        if isinstance(event, SetScalar):
+            if event.reg in (ScalarReg.Rows, ScalarReg.Columns) \
+                    and event.value < 1:
+                records.append(("fb", event, rows, cols))
+                broken = True
+                continue
+            if event.reg is ScalarReg.Rows:
+                rows = event.value
+            elif event.reg is ScalarReg.Columns:
+                cols = event.value
+            else:
+                iters = event.value
+            records.append(("scalar", event, rows, cols))
+            continue
+        key = (id(event), rows, cols)
+        if key in template_cache:
+            template = template_cache[key]
+        else:
+            if event.is_matrix_chain:
+                # Matrix chains skip MFU validation (as interpreted) and
+                # have no statically checkable operands: never fallback.
+                template = _compile_matrix_template(event, rows, cols)
+            else:
+                try:
+                    event.assign_function_units(sim.config.mfus)
+                except ChainCapacityError:
+                    template = None
+                else:
+                    template = _compile_vector_chain(sim, event, rows, cols)
+            template_cache[key] = template
+        if template is None:
+            records.append(("fb", event, rows, cols))
+            broken = True
+        else:
+            records.append(("chain", template, rows, cols))
+
+    # Pass 2: group consecutive same-head mv_mul chains, emit steps,
+    # and accumulate the plan's static totals.
+    n = sim.config.native_dim
+    steps: List[object] = []
+    group_cache: Dict[tuple, _MvGroup] = {}
+    step_cache: Dict[tuple, object] = {}
+    groups: List[_MvGroup] = []
+    chains = instructions = mv_muls = macs = flops = ticks = 0
+    compiled_chains = fallback_steps = 0
+    reads: Dict[int, list] = {}
+    writes: Dict[int, list] = {}
+    footprints: Dict[MemId, int] = {}
+
+    single_member = sim._pack_slots == 0 and not sim._mantissa_gemv
+    open_run: List[_ChainTemplate] = []
+
+    def flush_run():
+        nonlocal open_run
+        if not open_run:
+            return
+        key = tuple(id(t) for t in open_run)
+        group = group_cache.get(key)
+        if group is None:
+            group = _MvGroup(sim, [(t.mv_base, t.rows) for t in open_run],
+                             open_run[0].cols)
+            group_cache[key] = group
+            groups.append(group)
+        for member, t in enumerate(open_run):
+            skey = (id(t), id(group), member)
+            step = step_cache.get(skey)
+            if step is None:
+                pieces = tuple(
+                    (_MV, group, member) if p[0] == _MV else p
+                    for p in t.raw_pieces)
+                step = _VectorStep(t.head_kind, t.head_view, t.head_mem,
+                                   t.head_index, t.width_in, pieces,
+                                   t.head_tick, tuple(t.piece_ticks),
+                                   t.length)
+                step_cache[skey] = step
+            steps.append(step)
+        open_run = []
+
+    def add_tally(t: _ChainTemplate):
+        nonlocal chains, instructions, mv_muls, macs, flops, ticks
+        nonlocal compiled_chains
+        chains += 1
+        compiled_chains += 1
+        instructions += t.length + 1
+        ticks += t.length + 1
+        flops += t.flops
+        if t.mv_base is not None:
+            mv_muls += 1
+            macs += t.rows * t.cols * n * n
+        for vrf, count in t.vrf_reads:
+            reads.setdefault(id(vrf), [vrf, 0])[1] += count
+        for vrf, count in t.vrf_writes:
+            writes.setdefault(id(vrf), [vrf, 0])[1] += count
+        for mem, end in t.vrf_extents:
+            if end > footprints.get(mem, 0):
+                footprints[mem] = end
+
+    for record in records:
+        kind = record[0]
+        if kind == "chain":
+            t = record[1]
+            if isinstance(t, _ChainTemplate) and t.mv_base is not None:
+                fusable = (t.head_kind == _H_VRF and not single_member)
+                if open_run and not (
+                        fusable
+                        and t.head_mem is open_run[0].head_mem
+                        and t.head_index == open_run[0].head_index
+                        and t.cols == open_run[0].cols):
+                    flush_run()
+                open_run.append(t)
+                add_tally(t)
+                if not fusable or t.writes_head_overlap:
+                    flush_run()
+                continue
+            flush_run()
+            if isinstance(t, _MatrixTemplate):
+                steps.append(t.step)
+                chains += 1
+                compiled_chains += 1
+                instructions += 3
+                ticks += 3
+            else:
+                step = step_cache.get(id(t))
+                if step is None:
+                    step = _VectorStep(t.head_kind, t.head_view, t.head_mem,
+                                       t.head_index, t.width_in,
+                                       tuple(t.raw_pieces), t.head_tick,
+                                       tuple(t.piece_ticks), t.length)
+                    step_cache[id(t)] = step
+                steps.append(step)
+                add_tally(t)
+            continue
+        flush_run()
+        if kind == "scalar":
+            event = record[1]
+            steps.append(_ScalarStep(event.reg, event.value))
+            instructions += 1
+            ticks += 1
+        else:  # fallback
+            steps.append(_FallbackStep(record[1], record[2], record[3]))
+            fallback_steps += 1
+    flush_run()
+
+    final_scalars = {ScalarReg.Rows: rows, ScalarReg.Columns: cols,
+                     ScalarReg.Iterations: iters}
+    return ReplayPlan(
+        program=program,
+        bindings_key=tuple(sorted((bindings or {}).items())),
+        entry_scalars=entry_scalars,
+        final_scalars=final_scalars,
+        steps=tuple(steps),
+        batchable=fallback_steps == 0,
+        chains=chains,
+        instructions=instructions,
+        mv_muls=mv_muls,
+        macs=macs,
+        pointwise_flops=flops,
+        ticks=ticks,
+        vrf_reads=tuple((v, c) for v, c in reads.values()),
+        vrf_writes=tuple((v, c) for v, c in writes.values()),
+        vrf_footprints=footprints,
+        compiled_chains=compiled_chains,
+        fallback_steps=fallback_steps,
+        groups=tuple(groups),
+        fused_groups=sum(1 for g in groups if len(g.members) > 1),
+    )
+
+
+class _MatrixTemplate:
+    """Wrapper pairing a matrix-chain template with its single step."""
+
+    __slots__ = ("step",)
+
+    def __init__(self, step: _MatrixStep):
+        self.step = step
+
+
+def _compile_matrix_template(chain: InstructionChain, rows: int,
+                             cols: int) -> Optional[_MatrixTemplate]:
+    rd, wr = chain.instructions
+    count = rows * cols
+    src_netq = rd.mem_id is MemId.NetQ
+    rd_tick = (rd.opcode.name.lower(),
+               {"mem": rd.mem_id.name, "index": rd.index, "tiles": count})
+    wr_tick = (wr.opcode.name.lower(),
+               {"mem": wr.mem_id.name, "index": wr.index, "tiles": count})
+    return _MatrixTemplate(_MatrixStep(
+        src_netq, rd.index, wr.mem_id is MemId.MatrixRf, wr.index, count,
+        rd_tick, wr_tick))
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+class ReplayExecutor:
+    """Runs a compiled plan against its simulator.
+
+    The fast path is a bare loop over precompiled steps; totals
+    (statistics, register-file counters, the trace clock, final scalar
+    registers) are applied once at successful completion. With a live
+    tracer or metrics sink attached the observed path emits the same
+    spans and counters as the interpreter, instruction by instruction.
+    """
+
+    __slots__ = ("sim", "plan")
+
+    def __init__(self, sim, plan: ReplayPlan):
+        self.sim = sim
+        self.plan = plan
+
+    def run(self):
+        sim = self.sim
+        plan = self.plan
+        if sim._observing:
+            for step in plan.steps:
+                step.run_observed(sim)
+        else:
+            for step in plan.steps:
+                step.run(sim)
+            sim._trace_clock += plan.ticks
+        stats = sim.stats
+        stats.chains_executed += plan.chains
+        stats.instructions_executed += plan.instructions
+        stats.mv_mul_count += plan.mv_muls
+        stats.macs += plan.macs
+        stats.pointwise_flops += plan.pointwise_flops
+        for vrf, delta in plan.vrf_reads:
+            vrf.reads += delta
+        for vrf, delta in plan.vrf_writes:
+            vrf.writes += delta
+        sim.scalar_regs.update(plan.final_scalars)
+        return stats
+
+
+class BatchedReplay:
+    """B independent requests stepped through one compiled plan.
+
+    All architectural state gains a leading batch axis: VRFs become
+    (B, footprint, N) arrays (only the statically reachable prefix of
+    each register file is replicated), DRAM entries (B, ...) arrays,
+    the network input queue a stream of (B, N) stacks. The MRF stays *shared*
+    (weights are per-model, not per-request) until the plan itself
+    writes matrix registers, at which point it is transparently
+    replicated per request. On the exact-integer mantissa paths every
+    batched kernel is bit-identical to B sequential compiled runs —
+    the invariant the four-way differential fuzzer asserts.
+
+    Not supported: plans with fallback steps (``plan.batchable`` is
+    False) — run those sequentially. Per-simulator statistics and
+    metric counters are not maintained for batched runs; outputs and
+    architectural state are the contract (via :meth:`snapshot`).
+    """
+
+    def __init__(self, sim, program: NpuProgram, batch: int,
+                 bindings: Optional[Dict[str, int]] = None):
+        if batch < 1:
+            raise ExecutionError("batch size must be >= 1")
+        self.sim = sim
+        self.batch = batch
+        self.plan = sim.plan_for(program, bindings)
+        if not self.plan.batchable:
+            raise ExecutionError(
+                "program contains constructs the batched replayer cannot "
+                "execute (interpreted fallback steps); run requests "
+                "sequentially")
+        b = batch
+        # Replicate only each register file's static footprint — the
+        # prefix the plan can actually touch. The untouched tail stays
+        # shared with the base simulator and is grafted back on in
+        # :meth:`snapshot`. (Full replication of a 4K-deep VRF times
+        # B=16 costs ~100 MB and dominated batched setup time.)
+        fp = self.plan.vrf_footprints
+        self._vrf = {
+            mem: np.repeat(vrf._data[np.newaxis, :fp.get(mem, 0)], b,
+                           axis=0)
+            for mem, vrf in sim.vrfs.items()}
+        self._dram_vectors = {k: np.repeat(v[np.newaxis], b, axis=0)
+                              for k, v in sim.dram._vectors.items()}
+        self._dram_tiles = {k: np.repeat(v[np.newaxis], b, axis=0)
+                            for k, v in sim.dram._tiles.items()}
+        self._mrfs = None  # shared with sim.mrf until the plan writes it
+        self._pending_vectors = collections.deque(
+            np.repeat(v[np.newaxis], b, axis=0)
+            for v in sim.netq._in_vectors)
+        self._pending_tiles = collections.deque(
+            np.repeat(t[np.newaxis], b, axis=0)
+            for t in sim.netq._in_tiles)
+        self._outputs: List[np.ndarray] = [
+            np.repeat(v[np.newaxis], b, axis=0)
+            for v in sim.netq._out_vectors]
+        self._scalars = dict(sim.scalar_regs)
+
+    # -- request-side I/O --------------------------------------------------
+
+    def push_input(self, vectors: np.ndarray) -> None:
+        """Queue one (B, N) stack: request b's next input vector."""
+        arr = np.asarray(vectors, dtype=np.float32)
+        n = self.sim.config.native_dim
+        if arr.shape != (self.batch, n):
+            raise MemoryError_(
+                f"batched input shape {arr.shape} != ({self.batch}, {n})")
+        self._pending_vectors.append(arr.copy())
+
+    def push_input_tiles(self, tiles: np.ndarray) -> None:
+        """Queue one (B, N, N) stack of matrix tiles."""
+        arr = np.asarray(tiles, dtype=np.float32)
+        n = self.sim.config.native_dim
+        if arr.shape != (self.batch, n, n):
+            raise MemoryError_(
+                f"batched tile shape {arr.shape} != "
+                f"({self.batch}, {n}, {n})")
+        self._pending_tiles.append(arr.copy())
+
+    def pop_outputs(self) -> List[List[np.ndarray]]:
+        """Drain the output queue: per-request lists of (N,) vectors."""
+        outs = self._outputs
+        self._outputs = []
+        return [[v[b].copy() for v in outs] for b in range(self.batch)]
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> "BatchedReplay":
+        for step in self.plan.steps:
+            step.run_batched(self)
+        self._scalars.update(self.plan.final_scalars)
+        return self
+
+    # -- plan-facing state helpers -----------------------------------------
+
+    def _pop_input(self, count: int) -> np.ndarray:
+        pending = self._pending_vectors
+        if len(pending) < count:
+            raise NetworkQueueEmptyError(
+                f"v_rd(NetQ) needs {count} vector(s), only "
+                f"{len(pending)} pending")
+        return np.stack([pending.popleft() for _ in range(count)], axis=1)
+
+    def _pop_input_tiles(self, count: int) -> np.ndarray:
+        pending = self._pending_tiles
+        if len(pending) < count:
+            raise NetworkQueueEmptyError(
+                f"m_rd(NetQ) needs {count} tile(s), only "
+                f"{len(pending)} pending")
+        return np.stack([pending.popleft() for _ in range(count)], axis=1)
+
+    def _push_outputs(self, value: np.ndarray) -> None:
+        for r in range(value.shape[1]):
+            self._outputs.append(np.ascontiguousarray(value[:, r]))
+
+    def _read_dram_vectors(self, index: int, count: int) -> np.ndarray:
+        parts = []
+        for i in range(count):
+            part = self._dram_vectors.get(index + i)
+            if part is None:
+                raise MemoryError_(f"DRAM vector {index + i} never written")
+            parts.append(part)
+        return np.stack(parts, axis=1)
+
+    def _read_dram_tiles(self, index: int, count: int) -> np.ndarray:
+        parts = []
+        for i in range(count):
+            part = self._dram_tiles.get(index + i)
+            if part is None:
+                raise MemoryError_(f"DRAM tile {index + i} never written")
+            parts.append(part)
+        return np.stack(parts, axis=1)
+
+    def _split_mrfs(self) -> List[MatrixRegisterFile]:
+        """Replicate the shared MRF per request on first matrix write."""
+        if self._mrfs is None:
+            base = self.sim.mrf
+            self._mrfs = []
+            for _ in range(self.batch):
+                mrf = MatrixRegisterFile(
+                    base.name, base.capacity, self.sim.config.native_dim,
+                    tile_engines=base.tile_engines)
+                mrf._tiles[...] = base._tiles
+                self._mrfs.append(mrf)
+        return self._mrfs
+
+    # -- inspection --------------------------------------------------------
+
+    def snapshot(self, b: int) -> Dict[str, object]:
+        """Request ``b``'s architectural state, in the same schema as
+        :meth:`FunctionalSimulator.snapshot` (outputs not drained)."""
+        if self._mrfs is not None:
+            mrf_tiles = self._mrfs[b]._tiles.copy()
+        else:
+            mrf_tiles = self.sim.mrf._tiles.copy()
+        vrf_state = {}
+        for mem, data in self._vrf.items():
+            full = self.sim.vrfs[mem]._data.copy()
+            full[:data.shape[1]] = data[b]
+            vrf_state[mem.name] = full
+        return {
+            "vrf": vrf_state,
+            "mrf": mrf_tiles,
+            "dram_vectors": {k: v[b].copy()
+                             for k, v in self._dram_vectors.items()},
+            "dram_tiles": {k: v[b].copy()
+                           for k, v in self._dram_tiles.items()},
+            "outputs": [v[b].copy() for v in self._outputs],
+            "netq_pending_inputs": len(self._pending_vectors),
+            "netq_pending_tiles": len(self._pending_tiles),
+            "scalar_regs": dict(self._scalars),
+        }

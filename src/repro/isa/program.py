@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import itertools
 from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from ..errors import ChainError, IsaError
@@ -64,12 +65,21 @@ ProgramItem = Union[SetScalar, InstructionChain, Loop]
 Event = Union[SetScalar, InstructionChain]
 
 
+#: Process-wide program identities for compiled-plan caching: ``id()``
+#: can be recycled after garbage collection, a monotonic counter cannot.
+_PROGRAM_UIDS = itertools.count()
+
+
 class NpuProgram:
     """A structured NPU program: chains, scalar writes, and loops."""
 
     def __init__(self, items: Sequence[ProgramItem], name: str = "program"):
         self._items = tuple(items)
         self.name = name
+        #: Stable identity used as the compiled replay-plan cache key
+        #: (:mod:`repro.functional.replay`). Programs are immutable once
+        #: built, so one uid maps to one event stream per binding set.
+        self.uid = next(_PROGRAM_UIDS)
 
     @property
     def items(self) -> tuple:

@@ -9,6 +9,7 @@ from .bfp import (
     quantization_step,
     quantize,
     quantize_with_info,
+    scales_of,
     to_float16,
 )
 from .analysis import (
@@ -22,7 +23,8 @@ from .analysis import (
 
 __all__ = [
     "BfpFormat", "MSFP_RNN", "MSFP_CNN", "bfp_dot", "block_exponents",
-    "quantization_step", "quantize", "quantize_with_info", "to_float16",
+    "quantization_step", "quantize", "quantize_with_info", "scales_of",
+    "to_float16",
     "ErrorStats", "error_stats", "expected_snr_db", "mantissa_sweep",
     "matvec_stats", "quantization_stats",
 ]

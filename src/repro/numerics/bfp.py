@@ -156,6 +156,17 @@ def decompose(x: np.ndarray, fmt: BfpFormat) -> Tuple[np.ndarray, np.ndarray]:
     return mantissas.reshape(original_shape), exponents
 
 
+def scales_of(exponents: np.ndarray, fmt: BfpFormat) -> np.ndarray:
+    """Per-block dequantization scales ``2^(E - mb + 1)`` as float64.
+
+    The companion of :func:`decompose` for dot-product consumers:
+    ``value = mantissa * scales_of(exponents, fmt)[..., None]``. Kept in
+    one place so the vectorized executor and the compiled replay engine
+    (:mod:`repro.functional.replay`) apply the bit-identical formula.
+    """
+    return np.exp2((exponents - fmt.mantissa_bits + 1).astype(np.float64))
+
+
 def quantize_reference(x: np.ndarray, fmt: BfpFormat) -> np.ndarray:
     """Pure-python reference quantizer (the conformance oracle).
 

@@ -1,14 +1,20 @@
 """Differential execution of one fuzz case across every engine.
 
-Runs a :class:`~repro.verify.generator.ProgramCase` on three functional
+Runs a :class:`~repro.verify.generator.ProgramCase` on four functional
 engines — the pure-python :class:`~repro.verify.reference.ReferenceInterpreter`,
 the naive-loop :class:`~repro.functional.executor.FunctionalSimulator`,
-and its vectorized fast path — from identical initial state, and demands
-bit-identical architectural snapshots, dynamic statistics, and
-per-opcode metrics counters. The same program is then run through the
-:class:`~repro.timing.scheduler.TimingSimulator` and checked against
-program-shape-independent timing invariants (serial lower bound,
-occupancy range, trace/report agreement, loop-replay monotonicity).
+its vectorized fast path, and the compiled replay path
+(``run(compiled=True)``, :mod:`repro.functional.replay`) — from
+identical initial state, and demands bit-identical architectural
+snapshots, dynamic statistics, and per-opcode metrics counters. When
+the compiled plan is batchable, the case is additionally stepped
+through a :class:`~repro.functional.replay.BatchedReplay` with three
+input-scaled requests and every request's final state is compared
+against a sequential compiled run. The same program is then run
+through the :class:`~repro.timing.scheduler.TimingSimulator` and
+checked against program-shape-independent timing invariants (serial
+lower bound, occupancy range, trace/report agreement, loop-replay
+monotonicity).
 
 Comparisons are NaN-tolerant (``equal_nan=True``): float16 saturation
 can legitimately produce ``inf`` and then ``nan`` downstream, and the
@@ -24,6 +30,7 @@ import numpy as np
 
 from ..errors import ReproError
 from ..functional.executor import FunctionalSimulator
+from ..functional.replay import BatchedReplay
 from ..obs.metrics import Metrics
 from ..obs.trace import Tracer
 from ..timing import (TimingSimulator, occupancy, occupancy_from_trace,
@@ -33,6 +40,12 @@ from .reference import ReferenceInterpreter
 
 #: Slack for floating-point cycle accounting in timing invariants.
 _CYCLE_EPS = 1e-6
+
+#: Per-request input scale factors for the batched-replay check. All
+#: exact powers of two (sign flip included), so scaling is lossless in
+#: float32 and each batched lane sees bit-identical inputs to its
+#: sequential twin.
+_BATCH_SCALES = (1.0, 0.5, -2.0)
 
 
 class CaseInvalid(ReproError):
@@ -149,21 +162,25 @@ def run_differential(case: ProgramCase,
 
     Returns a :class:`DiffResult` whose ``mismatches`` list is empty iff
     all engines agree and every timing invariant holds. Raises
-    :class:`CaseInvalid` when all three functional engines reject the
+    :class:`CaseInvalid` when all four functional engines reject the
     program with the same error type (an ill-formed case, not a bug).
     """
     ref = load_reference(case)
-    naive_metrics, vec_metrics = Metrics(), Metrics()
+    naive_metrics, vec_metrics, comp_metrics = (Metrics(), Metrics(),
+                                                Metrics())
     naive = load_simulator(case, naive=True, metrics=naive_metrics)
     vec = load_simulator(case, naive=False, metrics=vec_metrics)
+    comp = load_simulator(case, naive=False, metrics=comp_metrics)
 
     errors = {
         "reference": _guarded(lambda: ref.run(case.program)),
         "naive": _guarded(lambda: naive.run(case.program)),
         "vectorized": _guarded(lambda: vec.run(case.program)),
+        "compiled": _guarded(
+            lambda: comp.run(case.program, compiled=True)),
     }
     raised = {k: v for k, v in errors.items() if v is not None}
-    if len(raised) == 3:
+    if len(raised) == len(errors):
         kinds = {v.split(":", 1)[0] for v in raised.values()}
         if len(kinds) == 1:
             raise CaseInvalid(next(iter(raised.values())))
@@ -179,9 +196,12 @@ def run_differential(case: ProgramCase,
                        mismatches)
     _compare_snapshots("naive vs vectorized", naive.snapshot(),
                        vec.snapshot(), mismatches)
+    _compare_snapshots("vectorized vs compiled", vec.snapshot(),
+                       comp.snapshot(), mismatches)
 
     ref_stats = ref.stats_dict()
-    for sim, tag in ((naive, "naive"), (vec, "vectorized")):
+    for sim, tag in ((naive, "naive"), (vec, "vectorized"),
+                     (comp, "compiled")):
         got = {"chains_executed": sim.stats.chains_executed,
                "instructions_executed": sim.stats.instructions_executed,
                "mv_mul_count": sim.stats.mv_mul_count,
@@ -192,7 +212,8 @@ def run_differential(case: ProgramCase,
                 f"stats reference vs {tag}: {ref_stats} != {got}")
 
     for metrics, tag in ((naive_metrics, "naive"),
-                         (vec_metrics, "vectorized")):
+                         (vec_metrics, "vectorized"),
+                         (comp_metrics, "compiled")):
         ops = _op_counters(metrics)
         want = {k: v for k, v in ref.op_counts.items() if v}
         if ops != want:
@@ -200,13 +221,63 @@ def run_differential(case: ProgramCase,
                 f"op counters reference vs {tag}: {want} != {ops}")
     naive_counts = {n: c.value for n, c in naive_metrics.counters.items()}
     vec_counts = {n: c.value for n, c in vec_metrics.counters.items()}
+    comp_counts = {n: c.value for n, c in comp_metrics.counters.items()}
     if naive_counts != vec_counts:
         mismatches.append(f"metrics counters naive vs vectorized: "
                           f"{naive_counts} != {vec_counts}")
+    if vec_counts != comp_counts:
+        mismatches.append(f"metrics counters vectorized vs compiled: "
+                          f"{vec_counts} != {comp_counts}")
+
+    mismatches.extend(check_batched_replay(case))
 
     if check_timing:
         mismatches.extend(check_timing_invariants(case, ref))
     return DiffResult(case, mismatches)
+
+
+def check_batched_replay(case: ProgramCase) -> List[str]:
+    """Batched replay vs per-request sequential compiled runs.
+
+    Builds a :class:`BatchedReplay` whose requests see the case's
+    network-input vectors scaled by :data:`_BATCH_SCALES` (all other
+    initial state is shared), runs it, and demands every request's
+    :meth:`~BatchedReplay.snapshot` be bit-identical to a sequential
+    ``run(compiled=True)`` of the correspondingly scaled case. Returns
+    an empty list when the plan is not batchable (fallback steps) —
+    sequential execution is the documented contract there.
+    """
+    batch = len(_BATCH_SCALES)
+    empty_netq = case.netq_vectors[:0]
+    base = load_simulator(
+        dataclasses.replace(case, netq_vectors=empty_netq), naive=False)
+    plan = base.plan_for(case.program)
+    if not plan.batchable:
+        return []
+    replay = BatchedReplay(base, case.program, batch)
+    for vec in case.netq_vectors:
+        replay.push_input(np.stack([vec * s for s in _BATCH_SCALES]))
+    batched_err = _guarded(replay.run)
+
+    out: List[str] = []
+    for b, scale in enumerate(_BATCH_SCALES):
+        scaled = dataclasses.replace(
+            case, netq_vectors=case.netq_vectors * scale)
+        sim = load_simulator(scaled, naive=False)
+        seq_err = _guarded(lambda: sim.run(case.program, compiled=True))
+        if (batched_err is None) != (seq_err is None):
+            out.append(f"batched[{b}]: batched raised {batched_err!r}, "
+                       f"sequential raised {seq_err!r}")
+            continue
+        if batched_err is not None:
+            kind = batched_err.split(":", 1)[0]
+            if seq_err.split(":", 1)[0] != kind:
+                out.append(f"batched[{b}]: error {batched_err!r} != "
+                           f"sequential {seq_err!r}")
+            continue
+        _compare_snapshots(f"batched[{b}] vs sequential compiled",
+                           replay.snapshot(b), sim.snapshot(), out)
+    return out
 
 
 def check_timing_invariants(case: ProgramCase,

@@ -2,9 +2,11 @@
 
 Drives the full pipeline behind the ``repro fuzz`` CLI and the CI fuzz
 gate: for each seed in a deterministic sequence, generate a program
-case, run it differentially across the reference interpreter and both
-functional-simulator paths, and on any mismatch greedily shrink the case
-and archive the minimized reproducer as a corpus JSON file.
+case, run it differentially across the reference interpreter, both
+functional-simulator paths, and the compiled replay path (plus a
+batched-vs-sequential replay check when the plan is batchable), and on
+any mismatch greedily shrink the case and archive the minimized
+reproducer as a corpus JSON file.
 """
 
 from __future__ import annotations

@@ -85,6 +85,73 @@ def test_fuzz_pinned_config_and_profile(capsys):
     capsys.readouterr()
 
 
+def _stub_bench_payload(compiled_ms=1.0, batch16_ms=0.5):
+    """A minimal but schema-true perf payload, so the bench CLI can be
+    smoke-tested without running the (slow) real suite — that runs in
+    the perf CI step via benchmarks/perf/test_bench_smoke.py."""
+    from repro.harness.perf import (BenchResult, HEADLINE,
+                                    batch16_headline_speedup,
+                                    compiled_headline_speedup,
+                                    headline_speedup)
+    kind, hidden, cfg = HEADLINE
+    rows = [
+        BenchResult(name=f"functional_{kind}_h{hidden}", config=cfg,
+                    unit_ms=1.0, units=4, repeats=2, naive_unit_ms=5.0),
+        BenchResult(name=f"compiled_{kind}_h{hidden}", config=cfg,
+                    unit_ms=compiled_ms, units=4, repeats=3,
+                    naive_unit_ms=2.0),
+        BenchResult(name=f"batched_{kind}_h{hidden}_b16", config=cfg,
+                    unit_ms=batch16_ms, units=64, repeats=3,
+                    naive_unit_ms=2.0),
+    ]
+    return {
+        "benchmark": "perf", "quick": True,
+        "headline": {"kind": kind, "hidden": hidden, "config": cfg,
+                     "speedup": headline_speedup(rows),
+                     "compiled_speedup": compiled_headline_speedup(rows),
+                     "batch16_speedup": batch16_headline_speedup(rows)},
+        "results": [r.to_json() for r in rows],
+    }
+
+
+def test_bench_cli_table_and_output(monkeypatch, tmp_path, capsys):
+    import repro.harness.perf as perf
+    monkeypatch.setattr(perf, "run_suite",
+                        lambda quick: _stub_bench_payload())
+    out = tmp_path / "bench.json"
+    rc = main(["bench", "quick", "--output", str(out)])
+    assert rc == 0
+    stdout = capsys.readouterr().out
+    assert "compiled over vectorized" in stdout
+    assert "floor" in stdout
+    payload = json.loads(out.read_text())
+    assert payload["headline"]["compiled_speedup"] == 2.0
+    assert payload["headline"]["batch16_speedup"] == 4.0
+
+
+def test_bench_cli_json_mode(monkeypatch, capsys):
+    import repro.harness.perf as perf
+    monkeypatch.setattr(perf, "run_suite",
+                        lambda quick: _stub_bench_payload())
+    rc = main(["bench", "quick", "--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["benchmark"] == "perf"
+    names = {r["name"] for r in payload["results"]}
+    assert any(n.startswith("batched_") for n in names)
+
+
+def test_bench_cli_gate_failure_exits_nonzero(monkeypatch, capsys):
+    import repro.harness.perf as perf
+    # Compiled replay slower than the vectorized baseline: gate trips.
+    monkeypatch.setattr(
+        perf, "run_suite",
+        lambda quick: _stub_bench_payload(compiled_ms=4.0))
+    rc = main(["bench", "quick"])
+    assert rc == 1
+    assert "FAIL" in capsys.readouterr().err
+
+
 def test_monitor_smoke(tmp_path, capsys):
     html = tmp_path / "dash.html"
     prom = tmp_path / "metrics.prom"

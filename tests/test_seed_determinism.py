@@ -130,6 +130,47 @@ def test_chaos_suite_is_seed_deterministic():
     assert one.render() == two.render()
 
 
+def test_plan_compilation_is_deterministic():
+    """Two fresh simulators compile byte-identical replay plans for the
+    same program: same step-kind sequence, same outputs, same final
+    architectural state. Plan compilation draws from no RNG and no
+    iteration-order-unstable container."""
+    from repro.compiler import compile_lstm
+    from repro.config import NpuConfig
+    from repro.models import LstmReference
+
+    cfg = NpuConfig(name="det_rnn", native_dim=128, lanes=4,
+                    tile_engines=2, mrf_size=256, mantissa_bits=2)
+    model = compile_lstm(
+        LstmReference(hidden_dim=200, input_dim=200, seed=5), cfg)
+    rng = np.random.default_rng(8)
+    xs = [rng.uniform(-1, 1, 200).astype(np.float32) for _ in range(2)]
+
+    def run():
+        sim = model.new_simulator()
+        outs = model.run_sequence(xs, sim=sim, compiled=True)
+        plan = next(iter(sim._plans.values()))
+        kinds = [type(step).__name__ for step in plan.steps]
+        return outs, kinds, sim.snapshot()
+
+    def state_bytes(obj):
+        if isinstance(obj, dict):
+            return tuple((k, state_bytes(v)) for k, v in obj.items())
+        if isinstance(obj, (list, tuple)):
+            return tuple(state_bytes(v) for v in obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tobytes()
+        return obj
+
+    out_a, kinds_a, snap_a = run()
+    out_b, kinds_b, snap_b = run()
+    assert kinds_a == kinds_b
+    assert len(kinds_a) > 0
+    for x, y in zip(out_a, out_b):
+        assert x.tobytes() == y.tobytes()
+    assert state_bytes(snap_a) == state_bytes(snap_b)
+
+
 def test_no_global_numpy_random_in_src():
     """`np.random.<draw>` without an explicit Generator is forbidden;
     `default_rng(seed)` / `Generator` type hints are the allowed uses."""

@@ -134,6 +134,27 @@ def test_injected_bug_archived_to_corpus(monkeypatch, tmp_path):
 
 
 @pytest.mark.tier1
+def test_injected_compiled_path_bug_is_caught_and_shrunk(monkeypatch):
+    """A bug confined to the compiled replay path — the interpreter and
+    both sequential simulator paths are untouched — is detected by the
+    four-way differential and shrunk to a small reproducer."""
+    import repro.functional.replay as replay
+    orig = replay.to_float16
+
+    def buggy(x):
+        return orig(x) + np.float32(0.125)
+
+    monkeypatch.setattr(replay, "to_float16", buggy)
+    report = run_fuzz(seed=0, iterations=25, check_timing=False)
+    assert not report.ok, "compiled-path bug went undetected"
+    failure = report.failures[0]
+    assert any("compiled" in m or "batched" in m
+               for m in failure.mismatches), failure.mismatches
+    assert failure.case.instruction_count() <= 4, \
+        format_program(failure.case.program)
+
+
+@pytest.mark.tier1
 def test_shrink_keeps_failure_and_reduces_size():
     case = generate_case(9)
     baseline = case.instruction_count()
