@@ -1,0 +1,110 @@
+"""Regenerate the golden-vector conformance files for the BFP family.
+
+Writes one JSON file per :data:`repro.numerics.FORMAT_FAMILY` member to
+``tests/golden/numerics/``. Each file pins the exact quantized values,
+integer mantissas, and shared exponents for a fixed workload of seeded
+random rows plus hand-built edge rows (E8M0 boundary exponents,
+max-mantissa saturation, zero blocks, subnormal-range underflow), as
+produced by :func:`repro.numerics.bfp.quantize_reference` — the scalar
+oracle. ``tests/test_numerics_golden.py`` replays them against both the
+oracle and the vectorized quantizer in tier-1, so any drift in either
+implementation (or in the format definitions) fails loudly.
+
+Run from the repo root after an intentional numerics change:
+
+    PYTHONPATH=src python scripts/gen_numerics_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.numerics.bfp import (FORMAT_FAMILY, BfpFormat, decompose,
+                                quantize_reference)
+
+OUT_DIR = (pathlib.Path(__file__).resolve().parents[1]
+           / "tests" / "golden" / "numerics")
+
+#: Rows of seeded pseudo-random data per format.
+RANDOM_ROWS = 4
+#: Blocks per row (the trailing axis is ``blocks * block_size`` wide).
+BLOCKS_PER_ROW = 2
+
+
+def edge_rows(fmt: BfpFormat) -> list:
+    """Hand-built rows hitting the format's boundary behaviours."""
+    width = BLOCKS_PER_ROW * fmt.block_size
+    rows = []
+    # Max-mantissa saturation: the block max sets the exponent, and the
+    # value just below the next power of two rounds up to the clamp.
+    sat = np.zeros(width)
+    sat[::2] = np.ldexp(1.0, fmt.max_exponent)
+    sat[1::2] = -np.ldexp(1.0, fmt.max_exponent + 1) * 0.999999
+    rows.append(sat)
+    # Boundary exponents: top representable, one above (clamps; for
+    # E8M0 this is the NaN-code exponent the encoding cannot reach),
+    # and bottom-of-range underflow.
+    rows.append(np.full(width, np.ldexp(1.0, fmt.max_exponent)))
+    rows.append(np.full(width, np.ldexp(1.0, fmt.max_exponent + 1)))
+    rows.append(np.full(width, np.ldexp(1.0, fmt.min_exponent - 10)))
+    # A zero block next to a live block (per-block independence), with
+    # signed values exercising round-half-even in the live block.
+    mixed = np.zeros(width)
+    half = fmt.block_size
+    live = np.linspace(-3.5, 3.5, half) + 0.25
+    mixed[half:2 * half] = live[:half]
+    rows.append(mixed)
+    return rows
+
+
+def build_vectors(key: str, fmt: BfpFormat) -> dict:
+    rng = np.random.default_rng(20260808)
+    width = BLOCKS_PER_ROW * fmt.block_size
+    base = rng.standard_normal((RANDOM_ROWS, width))
+    # Scatter outliers so blocks disagree about the shared exponent.
+    mask = rng.random(base.shape) < 0.1
+    base[mask] *= 64.0
+    f32max = float(np.finfo(np.float32).max)
+    x = np.clip(
+        np.vstack([base] + [np.asarray(r)[np.newaxis, :]
+                            for r in edge_rows(fmt)]),
+        -f32max, f32max).astype(np.float32)
+    values = quantize_reference(x, fmt)
+    mant, exps = decompose(x, fmt)
+    return {
+        "format": {
+            "key": key,
+            "mantissa_bits": fmt.mantissa_bits,
+            "exponent_bits": fmt.exponent_bits,
+            "block_size": fmt.block_size,
+            "scale_granularity": fmt.scale_granularity,
+            "scale_encoding": fmt.scale_encoding,
+            "label": fmt.name,
+        },
+        "input": [[float(v) for v in row] for row in x],
+        "values": [[float(v) for v in row] for row in values],
+        "mantissas": [[int(v) for v in row] for row in mant],
+        "exponents": [[int(v) for v in row] for row in exps],
+    }
+
+
+def main() -> int:
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    for key, fmt in FORMAT_FAMILY.items():
+        payload = build_vectors(key, fmt)
+        path = OUT_DIR / f"{key}.json"
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=1)
+            fh.write("\n")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

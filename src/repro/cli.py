@@ -22,6 +22,8 @@ Commands:
   batched replay; see docs/TESTING.md);
 * ``bench`` — run the perf suite (quick or full) and gate on the
   headline speedups, optionally emitting the JSON payload;
+* ``numerics-sweep`` — accuracy-vs-storage Pareto sweep across the BFP
+  / Microscaling format family (docs/NUMERICS.md);
 * ``specialize <kind> <hidden> <device>`` — best synthesis-specialized
   instance for a model on a device.
 """
@@ -375,6 +377,35 @@ def _cmd_bench(args) -> int:
     return rc
 
 
+def _cmd_numerics_sweep(args) -> int:
+    import json
+
+    from .numerics import (FORMAT_FAMILY, named_format, pareto_front,
+                           render_pareto_table, sweep_formats)
+    if args.formats:
+        formats = {name: named_format(name) for name in args.formats}
+    else:
+        formats = dict(FORMAT_FAMILY)
+    points = sweep_formats(formats, rows=args.rows, width=args.width,
+                           seed=args.seed)
+    payload = {
+        "workload": {"rows": args.rows, "width": args.width,
+                     "seed": args.seed},
+        "points": [p.as_dict() for p in points],
+        "pareto_front": [p.key for p in pareto_front(points)],
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_pareto_table(points))
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(json.dumps(payload, indent=2) + "\n")
+        if not args.json:
+            print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_specialize(args) -> int:
     from .synthesis import best_config, device_by_name, rnn_requirements
     try:
@@ -519,14 +550,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="first case seed (campaign runs seed..seed+n-1)")
     p.add_argument("--iterations", type=int, default=100,
                    help="number of cases to generate and compare")
+    from .verify.generator import FUZZ_CONFIGS, PROFILES
     p.add_argument("--profile", default="default",
-                   choices=["default", "mvm", "pointwise", "memory"],
-                   help="opcode-weight profile")
+                   choices=sorted(PROFILES),
+                   help="opcode-weight profile ('formats' draws from "
+                        "the Microscaling format-family pool)")
     p.add_argument("--config", default=None,
-                   choices=["fuzz8_m2", "fuzz8_m5", "fuzz8_exact",
-                            "fuzz16_m2"],
+                   choices=sorted(FUZZ_CONFIGS),
                    help="pin one fuzz configuration (default: per-seed "
-                        "draw from the pool)")
+                        "draw from the profile's pool)")
     p.add_argument("--corpus-dir", default=None,
                    help="archive shrunk failing cases into this directory")
     p.add_argument("--replay", default=None, metavar="DIR",
@@ -553,6 +585,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default=None, metavar="PATH",
                    help="also write the JSON payload to this path")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "numerics-sweep",
+        help="accuracy-vs-storage Pareto sweep across the BFP / "
+             "Microscaling format family")
+    p.add_argument("--formats", nargs="*", default=None, metavar="NAME",
+                   help="format-family names to sweep (default: all; "
+                        "see repro.numerics.FORMAT_FAMILY)")
+    p.add_argument("--rows", type=int, default=64,
+                   help="matrix rows in the synthetic workload")
+    p.add_argument("--width", type=int, default=256,
+                   help="matrix/vector width in the synthetic workload")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="print the payload as JSON instead of the table")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="also write the JSON payload to this path")
+    p.set_defaults(func=_cmd_numerics_sweep)
 
     p = sub.add_parser("specialize",
                        help="pick the best instance for a model")

@@ -36,6 +36,14 @@ class NpuConfig:
         mantissa_bits: Mantissa width of the BFP weight format (2-5 in
             the paper). ``0`` disables quantization (exact mode), used
             for functional verification.
+        bfp_block_size: Elements sharing one exponent. ``0`` (the
+            default) means the native dimension — the paper's scheme;
+            Microscaling formats use smaller blocks (e.g. 32). Must
+            divide ``native_dim``.
+        scale_granularity: ``"block"`` or ``"tile"`` — see
+            :class:`repro.numerics.BfpFormat`.
+        scale_encoding: ``"shared"`` or ``"e8m0"`` (MX power-of-two
+            scales; requires ``exponent_bits == 8``).
         clock_mhz: Target clock frequency.
         device: Name of the FPGA device this instance targets.
     """
@@ -52,6 +60,9 @@ class NpuConfig:
     multiply_vrf_depth: int = 1024
     exponent_bits: int = 5
     mantissa_bits: int = 2
+    bfp_block_size: int = 0
+    scale_granularity: str = "block"
+    scale_encoding: str = "shared"
     clock_mhz: float = 250.0
     device: str = "generic"
 
@@ -70,6 +81,21 @@ class NpuConfig:
             raise ConfigError("mantissa_bits must be in [0, 10]")
         if self.exponent_bits < 2 or self.exponent_bits > 8:
             raise ConfigError("exponent_bits must be in [2, 8]")
+        if self.bfp_block_size < 0:
+            raise ConfigError("bfp_block_size must be >= 0 (0 = native)")
+        if self.bfp_block_size and self.native_dim % self.bfp_block_size:
+            raise ConfigError(
+                f"bfp_block_size ({self.bfp_block_size}) must divide "
+                f"native_dim ({self.native_dim}) so native rows split "
+                "into whole scale blocks")
+        if self.scale_granularity not in ("block", "tile"):
+            raise ConfigError(
+                "scale_granularity must be 'block' or 'tile'")
+        if self.scale_encoding not in ("shared", "e8m0"):
+            raise ConfigError("scale_encoding must be 'shared' or 'e8m0'")
+        if self.scale_encoding == "e8m0" and self.exponent_bits != 8:
+            raise ConfigError(
+                "e8m0 scales are 8-bit by definition; set exponent_bits=8")
         if self.clock_mhz <= 0:
             raise ConfigError("clock_mhz must be positive")
 
@@ -124,15 +150,42 @@ class NpuConfig:
         return 2 * self.mrf_size
 
     @property
+    def effective_block_size(self) -> int:
+        """Elements sharing one exponent: ``bfp_block_size`` or native."""
+        return self.bfp_block_size or self.native_dim
+
+    @property
+    def bfp_format(self):
+        """The weight :class:`~repro.numerics.BfpFormat`, or ``None``.
+
+        ``None`` in exact mode (``mantissa_bits == 0``). The single
+        authority the reference interpreter, functional simulator, and
+        perf harness all construct their format from.
+        """
+        if self.mantissa_bits == 0:
+            return None
+        from .numerics.bfp import BfpFormat
+        return BfpFormat(
+            mantissa_bits=self.mantissa_bits,
+            exponent_bits=self.exponent_bits,
+            block_size=self.effective_block_size,
+            scale_granularity=self.scale_granularity,
+            scale_encoding=self.scale_encoding,
+        )
+
+    @property
     def weight_bits_per_element(self) -> float:
         """Average storage bits per BFP weight.
 
         One sign bit and ``mantissa_bits`` per element plus an
-        ``exponent_bits`` exponent shared by each native block.
+        ``exponent_bits`` exponent shared by each scale group (a
+        ``bfp_block_size`` block, or the native row under per-tile
+        granularity).
         """
-        if self.mantissa_bits == 0:
+        fmt = self.bfp_format
+        if fmt is None:
             return 32.0  # exact mode stores float32
-        return 1 + self.mantissa_bits + self.exponent_bits / self.native_dim
+        return fmt.storage_bits_per_element(self.native_dim)
 
     @property
     def mrf_capacity_bytes(self) -> float:
@@ -142,9 +195,10 @@ class NpuConfig:
     @property
     def precision_name(self) -> str:
         """Format string like ``"BFP (1s.5e.2m)"`` (Table IV notation)."""
-        if self.mantissa_bits == 0:
+        fmt = self.bfp_format
+        if fmt is None:
             return "Float32 (exact mode)"
-        return f"BFP (1s.{self.exponent_bits}e.{self.mantissa_bits}m)"
+        return f"BFP ({fmt.label(self.native_dim)})"
 
     @property
     def cycle_time_s(self) -> float:

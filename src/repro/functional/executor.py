@@ -33,8 +33,7 @@ from ..isa.program import NpuProgram, SetScalar
 from ..memory.dram import Dram
 from ..memory.netq import NetworkQueues
 from ..memory.regfile import MatrixRegisterFile, VectorRegisterFile
-from ..numerics.bfp import (BfpFormat, decompose, quantize, scales_of,
-                            to_float16)
+from ..numerics.bfp import decompose, quantize, scales_of, to_float16
 from ..obs import Metrics, Tracer, or_null, or_null_metrics
 from . import ops
 
@@ -134,29 +133,37 @@ class FunctionalSimulator:
             ScalarReg.Rows: 1, ScalarReg.Columns: 1, ScalarReg.Iterations: 0,
         }
         self.stats = ExecutionStats()
-        if not self.exact:
-            self._bfp = BfpFormat(mantissa_bits=config.mantissa_bits,
-                                  exponent_bits=config.exponent_bits,
-                                  block_size=n)
+        self._bfp = None if self.exact else config.bfp_format
+        # MVM kernels operate on *segments*: a native row splits into
+        # ``nb = N / block_size`` scale blocks, and a cols-wide window
+        # becomes ``S = cols * nb`` segments of width ``block_size``,
+        # ordered (c, k) lexicographic — the reference accumulation
+        # order. With the paper's native-block formats nb == 1 and
+        # segments coincide with column blocks.
+        if self._bfp is not None:
+            self._seg_width = self._bfp.block_size
+            self._nb = n // self._seg_width
         else:
-            self._bfp = None
-        # The mantissa-GEMV fast path computes each native-block dot
+            self._seg_width = n
+            self._nb = 1
+        # The mantissa-GEMV fast path computes each scale-block dot
         # product as a float32 GEMV over integer mantissas (the hardware's
         # exact integer accumulation tree, Section V-A). It is exact —
         # hence bit-identical to the float64 reference — whenever every
         # partial sum fits float32's 24-bit integer range.
         self._mantissa_gemv = (
             not self.exact
-            and n * (self._bfp.max_mantissa ** 2) <= (1 << 24))
+            and self._seg_width * (self._bfp.max_mantissa ** 2)
+            <= (1 << 24))
         # Narrower still: pack k mantissa rows into disjoint bit slots of
         # one float64 lane and recover the k exact integer dot products
         # from a single GEMV — halving weight traffic for the 2-3 bit
         # production formats (the hardware's narrow-precision bandwidth
         # multiplier, Section VI). Slot width w holds any block dot
-        # (|dot| <= n*(2^mb-1)^2 <= 2^(w-1)-1) and k slots keep every
-        # partial sum under float64's 53-bit exact-integer range.
+        # (|dot| <= block_size*(2^mb-1)^2 <= 2^(w-1)-1) and k slots keep
+        # every partial sum under float64's 53-bit exact-integer range.
         if not self.exact:
-            block_dot_max = n * (self._bfp.max_mantissa ** 2)
+            block_dot_max = self._seg_width * (self._bfp.max_mantissa ** 2)
             self._pack_width = block_dot_max.bit_length() + 1
             k = 53 // self._pack_width
             self._pack_slots = k if k >= 3 else 0
@@ -194,13 +201,17 @@ class FunctionalSimulator:
         cols = math.ceil(matrix.shape[1] / n)
         padded = np.zeros((rows * n, cols * n), dtype=np.float32)
         padded[:matrix.shape[0], :matrix.shape[1]] = matrix
-        if not self.exact:
-            padded = quantize(padded, self._bfp)
         # Tile (r, c) lands at slot r*cols + c: one reshape/transpose.
-        return np.ascontiguousarray(
+        tiles = np.ascontiguousarray(
             padded.reshape(rows, n, cols, n)
             .transpose(0, 2, 1, 3)
             .reshape(rows * cols, n, n))
+        if not self.exact:
+            # Quantize per native tile row (after tiling) — the same
+            # grouping as the ISA m_wr path, which matters for per-tile
+            # scale granularity.
+            tiles = quantize(tiles, self._bfp)
+        return tiles
 
     def load_vector(self, mem: MemId, index: int,
                     vector: np.ndarray) -> int:
@@ -518,20 +529,31 @@ class FunctionalSimulator:
     def _mv_mul_naive(self, base: int, value: np.ndarray,
                       rows: int, cols: int) -> np.ndarray:
         """Reference mega-SIMD MVM: one tile read and one small matmul
-        per (row, column) tile, accumulating columns left to right."""
+        per (row, column) tile, accumulating segments left to right."""
         n = self.config.native_dim
         if self.exact:
             inputs = value.astype(np.float64)
         else:
-            # The MVM quantizes its input vector at the native-block level;
+            # The MVM quantizes its input vector at the scale-block level;
             # weights were quantized when written into the MRF.
             inputs = quantize(value, self._bfp).astype(np.float64)
+        b, nb = self._seg_width, self._nb
         out = np.zeros((rows, n), dtype=np.float64)
         for r in range(rows):
             acc = np.zeros(n, dtype=np.float64)
             for c in range(cols):
                 tile = self.mrf.read_tile(base + r * cols + c)
-                acc += tile.astype(np.float64) @ inputs[c]
+                if nb == 1:
+                    acc += tile.astype(np.float64) @ inputs[c]
+                else:
+                    # Sub-native scale blocks: one GEMV per segment so
+                    # the (inexact) cross-block additions happen in the
+                    # reference (c, k) order. Each segment GEMV itself
+                    # is exact (one shared scale per output element).
+                    tile64 = tile.astype(np.float64)
+                    for k in range(nb):
+                        lo, hi = k * b, (k + 1) * b
+                        acc += tile64[:, lo:hi] @ inputs[c, lo:hi]
             out[r] = acc
         return out
 
@@ -543,62 +565,65 @@ class FunctionalSimulator:
 
         * **Quantized path** — weights and inputs are BFP values
           ``m * 2^e`` with integer mantissas ``|m| <= 2^mb - 1``. Each
-          native-block dot product is an integer dot scaled by a power of
+          scale-block dot product is an integer dot scaled by a power of
           two, so every float64 partial sum in the reference loop is
           *exact*. The fast path computes the integer dots with one
-          float32 GEMV per column block (exact while
-          ``n * (2^mb - 1)^2 <= 2^24`` — the hardware's integer
+          float32 GEMV per segment (exact while
+          ``block_size * (2^mb - 1)^2 <= 2^24`` — the hardware's integer
           accumulation tree, Section V-A), rescales in float64 (exact
-          products), and accumulates column blocks in the same order as
-          the reference loop: every partial sum matches bit for bit.
+          products), and accumulates segments in the same (c, k) order
+          as the reference loop: every partial sum matches bit for bit.
         * **Exact/wide path** — per-tile float64 matvecs batched as one
-          stacked GEMV per column block, accumulated in the reference
-          column order; the per-element dot and add sequence is the same
-          as the naive loop's.
+          stacked GEMV per segment, accumulated in the reference
+          segment order; the per-element dot and add sequence is the
+          same as the naive loop's.
         """
         n = self.config.native_dim
+        segs = cols * self._nb
         if self._pack_slots:
             x_mant, x_scales = self._quantized_input(value)
             w_packed, w_scales = self._window_operands(base, rows, cols)
-            # One batched GEMV per column block yields the k-packed exact
-            # integer block dots; unpack all blocks at once, then
-            # accumulate the per-block terms in the reference order
-            # c = 0, 1, ...
+            # One batched GEMV per segment yields the k-packed exact
+            # integer block dots; unpack all segments at once, then
+            # accumulate the per-segment terms in the reference order
+            # (c, k) = (0, 0), (0, 1), ...
             packed = np.matmul(w_packed, x_mant[:, :, np.newaxis])[:, :, 0]
             dots = self._unpack(packed, rows * n)
             terms = dots * (w_scales * x_scales)
-            if cols == 1:
+            if segs == 1:
                 return terms.reshape(rows, n)
             acc = terms[0] + terms[1]
-            for c in range(2, cols):
-                acc += terms[c]
+            for s in range(2, segs):
+                acc += terms[s]
             return acc.reshape(rows, n)
         if self._mantissa_gemv:
             x_mant, x_scales = self._quantized_input(value)
             w_mant, w_scales = self._window_operands(base, rows, cols)
-            # acc accumulates the exact per-column-block terms in the
-            # reference order c = 0, 1, ...
+            # acc accumulates the exact per-segment terms in the
+            # reference order (c, k) = (0, 0), (0, 1), ...
             acc = ((w_mant[0] @ x_mant[0]).astype(np.float64)
                    * (w_scales[0] * x_scales[0]))
-            for c in range(1, cols):
-                acc += ((w_mant[c] @ x_mant[c]).astype(np.float64)
-                        * (w_scales[c] * x_scales[c]))
+            for s in range(1, segs):
+                acc += ((w_mant[s] @ x_mant[s]).astype(np.float64)
+                        * (w_scales[s] * x_scales[s]))
             return acc.reshape(rows, n)
         if self.exact:
             inputs = value.astype(np.float64)
         else:
-            inputs = self._quantized_input_f64(value)
+            inputs = self._quantized_input_f64(value) \
+                .reshape(segs, self._seg_width)
         blocks = self._window_blocks_f64(base, rows, cols)
         acc = blocks[0] @ inputs[0]
-        for c in range(1, cols):
-            acc += blocks[c] @ inputs[c]
+        for s in range(1, segs):
+            acc += blocks[s] @ inputs[s]
         return acc.reshape(rows, n)
 
     # -- mv_mul operand caches ----------------------------------------------
 
     def _quantized_input(self, value: np.ndarray) -> tuple:
-        """BFP-decomposed input vectors: float32 mantissas (cols, N) and
-        float64 per-block scales (cols, 1), memoized on buffer content.
+        """BFP-decomposed input vectors: float32 mantissas (S, block)
+        and float64 per-segment scales (S, 1), memoized on buffer
+        content, with ``S = cols * nb`` segments in (c, k) order.
 
         Safe because quantization is a pure function of the bytes and the
         (fixed) format; weights need no such cache — they quantize once
@@ -610,7 +635,9 @@ class FunctionalSimulator:
             mant, exps = decompose(value, self._bfp)
             if self._pack_slots:
                 mant = mant.astype(np.float64)  # packed path runs f64 GEMVs
-            scales = scales_of(exps, self._bfp).reshape(value.shape[0], 1)
+            segs = value.shape[0] * self._nb
+            mant = mant.reshape(segs, self._seg_width)
+            scales = scales_of(exps, self._bfp).reshape(segs, 1)
             entry[0] = (mant, scales)
         return entry[0]
 
@@ -638,10 +665,11 @@ class FunctionalSimulator:
     def _window_operands(self, base: int, rows: int, cols: int) -> tuple:
         """Mantissa-GEMV operands for a weight window.
 
-        Plain mode: float32 mantissa blocks (cols, rows*N, N) and float64
-        scales (cols, rows*N). Packed mode (``_pack_slots`` = k > 0): k
-        mantissa rows share one float64 lane, (cols, ceil(rows*N/k), N),
-        with the same scales array.
+        Plain mode: float32 mantissa segments (S, rows*N, block) and
+        float64 scales (S, rows*N), with ``S = cols * nb`` segments in
+        (c, k) order. Packed mode (``_pack_slots`` = k > 0): k mantissa
+        rows share one float64 lane, (S, ceil(rows*N/k), block), with
+        the same scales array.
 
         Derived from the assembled MRF window (weights are already
         BFP-quantized there, so the decomposition is exact and
@@ -650,17 +678,25 @@ class FunctionalSimulator:
         entry = self._window_lookup(base, rows, cols)
         if entry[1] is None:
             n = self.config.native_dim
+            b, nb = self._seg_width, self._nb
+            segs = cols * nb
             window = entry[0]
             # Column-block layout: blocks[c] stacks tile column c of every
-            # window row, (rows*N, N); each row of a block is one native
-            # BFP block sharing one exponent.
+            # window row, (rows*N, N); splitting each native row into nb
+            # scale blocks yields segment s = c*nb + k as (rows*N, block),
+            # each row sharing one exponent.
             blocks = np.ascontiguousarray(
                 window.reshape(rows * n, cols, n).transpose(1, 0, 2))
             mant, exps = decompose(blocks.reshape(-1, n), self._bfp)
-            scales = scales_of(exps, self._bfp).reshape(cols, rows * n)
-            mant = mant.reshape(cols, rows * n, n)
+            scales = np.ascontiguousarray(
+                scales_of(exps, self._bfp)
+                .reshape(cols, rows * n, nb).transpose(0, 2, 1)
+                .reshape(segs, rows * n))
+            mant = np.ascontiguousarray(
+                mant.reshape(cols, rows * n, nb, b).transpose(0, 2, 1, 3)
+                .reshape(segs, rows * n, b))
             if self._pack_slots:
-                mant = self._pack_rows(mant, cols, rows * n, n)
+                mant = self._pack_rows(mant, segs, rows * n, b)
             entry[1] = (mant, scales)
         return entry[1]
 
@@ -705,13 +741,21 @@ class FunctionalSimulator:
 
     def _window_blocks_f64(self, base: int, rows: int,
                            cols: int) -> np.ndarray:
-        """Float64 column-block stack (cols, rows*N, N) of a window."""
+        """Float64 segment stack (S, rows*N, block) of a window.
+
+        In exact mode (nb == 1) this is the column-block stack
+        (cols, rows*N, N) unchanged.
+        """
         entry = self._window_lookup(base, rows, cols)
         if entry[2] is None:
             n = self.config.native_dim
-            entry[2] = np.ascontiguousarray(
-                entry[0].reshape(rows * n, cols, n)
-                .transpose(1, 0, 2).astype(np.float64))
+            b, nb = self._seg_width, self._nb
+            blocks = entry[0].reshape(rows * n, cols, n).transpose(1, 0, 2)
+            if nb > 1:
+                blocks = (blocks.reshape(cols, rows * n, nb, b)
+                          .transpose(0, 2, 1, 3)
+                          .reshape(cols * nb, rows * n, b))
+            entry[2] = np.ascontiguousarray(blocks.astype(np.float64))
         return entry[2]
 
     def _window_lookup(self, base: int, rows: int, cols: int) -> list:

@@ -107,14 +107,21 @@ class _MvGroup:
     registers are rewritten.
     """
 
-    __slots__ = ("mode", "members", "cols", "n", "tiles", "offsets",
-                 "padded_offsets", "groups_total", "total_rows",
-                 "_generation", "_operands", "_batched_generation",
-                 "_batched_operands", "outputs")
+    __slots__ = ("mode", "members", "cols", "segs", "seg_width", "nb", "n",
+                 "tiles", "offsets", "padded_offsets", "groups_total",
+                 "total_rows", "_generation", "_operands",
+                 "_batched_generation", "_batched_operands", "outputs")
 
     def __init__(self, sim, members: List[Tuple[int, int]], cols: int):
         self.members = tuple(members)  # (mrf_base, rows) per member
         self.cols = cols
+        # Segment view: a native row splits into nb scale blocks, so a
+        # cols-wide window has S = cols*nb GEMV segments in the
+        # executor's (c, k) reference order (nb == 1 for native-block
+        # formats, where segments are exactly the column blocks).
+        self.nb = sim._nb
+        self.seg_width = sim._seg_width
+        self.segs = cols * sim._nb
         self.n = sim.config.native_dim
         if sim._pack_slots:
             self.mode = _MODE_PACKED
@@ -162,7 +169,7 @@ class _MvGroup:
             # Scales live at the *unpadded* row positions of each
             # member's padded slot range; padding rows carry zero
             # mantissas and zero scales, so their terms vanish exactly.
-            scales = np.zeros((self.cols, self.groups_total * k))
+            scales = np.zeros((self.segs, self.groups_total * k))
             for (_, rows), off, part in zip(self.members,
                                             self.padded_offsets, parts):
                 scales[:, off:off + rows * self.n] = part[1]
@@ -198,18 +205,18 @@ class _MvGroup:
         """
         key = (batch, self._generation)
         if self._batched_generation != key:
-            cols = self.cols
+            segs = self.segs
             gp = self.groups_total
             # Scale layout matching the unpack layout: slot t of packed
             # group g is unpadded row g*k + t.
             ws_kgp = np.ascontiguousarray(
-                w_scales.reshape(cols, gp, k).transpose(0, 2, 1))
+                w_scales.reshape(segs, gp, k).transpose(0, 2, 1))
             self._batched_operands = (
                 ws_kgp,
-                np.empty((cols, batch, gp)),        # packed GEMM out
-                np.empty((cols, batch, k, gp)),     # slot prefixes
-                np.empty((cols, batch, k, gp)),     # slot dots
-                np.empty((batch, k, gp)),           # column accumulator
+                np.empty((segs, batch, gp)),        # packed GEMM out
+                np.empty((segs, batch, k, gp)),     # slot prefixes
+                np.empty((segs, batch, k, gp)),     # slot dots
+                np.empty((batch, k, gp)),           # segment accumulator
             )
             self._batched_generation = key
         return self._batched_operands
@@ -224,22 +231,23 @@ class _MvGroup:
             return
         w_stack, w_scales = self._bound_operands(sim)
         mant, exps = decompose(value, sim._bfp)
-        x_scales = scales_of(exps, sim._bfp).reshape(self.cols, 1)
+        mant = mant.reshape(self.segs, self.seg_width)
+        x_scales = scales_of(exps, sim._bfp).reshape(self.segs, 1)
         if self.mode == _MODE_PACKED:
             x_mant = mant.astype(np.float64)
             packed = np.matmul(w_stack, x_mant[:, :, np.newaxis])[:, :, 0]
             dots = _unpack_slots(packed, sim._pack_slots, sim._pack_width)
             terms = dots * (w_scales * x_scales)
             acc = terms[0]
-            for c in range(1, self.cols):
-                acc = acc + terms[c]
+            for s in range(1, self.segs):
+                acc = acc + terms[s]
             starts = self.padded_offsets
         else:
             acc = ((w_stack[0] @ mant[0]).astype(np.float64)
                    * (w_scales[0] * x_scales[0]))
-            for c in range(1, self.cols):
-                acc += ((w_stack[c] @ mant[c]).astype(np.float64)
-                        * (w_scales[c] * x_scales[c]))
+            for s in range(1, self.segs):
+                acc += ((w_stack[s] @ mant[s]).astype(np.float64)
+                        * (w_scales[s] * x_scales[s]))
             starts = self.offsets
         out = acc.astype(np.float32)
         out = to_float16(out)
@@ -255,10 +263,11 @@ class _MvGroup:
         if sim.exact:
             inputs = value.astype(np.float64)
         else:
-            inputs = sim._quantized_input_f64(value)
+            inputs = sim._quantized_input_f64(value) \
+                .reshape(self.segs, self.seg_width)
         acc = blocks[0] @ inputs[0]
-        for c in range(1, self.cols):
-            acc += blocks[c] @ inputs[c]
+        for s in range(1, self.segs):
+            acc += blocks[s] @ inputs[s]
         out = acc.reshape(rows, self.n).astype(np.float32)
         return out if sim.exact else to_float16(out)
 
@@ -301,18 +310,19 @@ class _MvGroup:
         # matmul would degrade to B separate GEMVs. Every dot product
         # is an exact integer, so the batched results equal the
         # per-request GEMVs bit for bit; scale products and the
-        # column-block summation keep the reference operation order.
+        # segment summation keep the reference operation order.
         mant, exps = decompose(value, sim._bfp)  # (B, cols, N)
         batch = value.shape[0]
-        cols = self.cols
-        x_scales = scales_of(exps, sim._bfp).reshape(batch, cols, 1)
+        segs = self.segs
+        mant = mant.reshape(batch, segs, self.seg_width)
+        x_scales = scales_of(exps, sim._bfp).reshape(batch, segs, 1)
         if self.mode == _MODE_PACKED:
             k, width = sim._pack_slots, sim._pack_width
             ws_kgp, packed, pref, dots, accb = \
                 self._batched_scratch(w_scales, batch, k)
             x = mant.astype(np.float64)
-            for c in range(cols):
-                np.matmul(x[:, c], w_stack[c].T, out=packed[c])
+            for s in range(segs):
+                np.matmul(x[:, s], w_stack[s].T, out=packed[s])
             # Unpack the k slot dots per lane in (.., k, groups) layout
             # (one transposing copy at the very end instead of one per
             # column block): dots[t] = pref[t] - pref[t-1] * 2^w.
@@ -332,12 +342,12 @@ class _MvGroup:
             np.multiply(dots, ws_kgp[:, np.newaxis], out=dots)
             np.multiply(dots, x_scales.transpose(1, 0, 2)[..., np.newaxis],
                         out=dots)
-            if cols == 1:
+            if segs == 1:
                 acc = dots[0]
             else:
                 np.add(dots[0], dots[1], out=accb)
-                for c in range(2, cols):
-                    np.add(accb, dots[c], out=accb)
+                for s in range(2, segs):
+                    np.add(accb, dots[s], out=accb)
                 acc = accb
             # (B, k, groups) -> (B, groups, k) -> rows g*k + t.
             out = acc.transpose(0, 2, 1).astype(np.float32)
@@ -346,10 +356,10 @@ class _MvGroup:
         else:
             acc = (np.matmul(mant[:, 0], w_stack[0].T).astype(np.float64)
                    * (w_scales[0] * x_scales[:, 0]))
-            for c in range(1, cols):
-                acc += (np.matmul(mant[:, c], w_stack[c].T)
+            for s in range(1, segs):
+                acc += (np.matmul(mant[:, s], w_stack[s].T)
                         .astype(np.float64)
-                        * (w_scales[c] * x_scales[:, c]))
+                        * (w_scales[s] * x_scales[:, s]))
             out = acc.astype(np.float32)
             starts = self.offsets
         out = to_float16(out)
@@ -368,42 +378,51 @@ class _MvGroup:
         """
         n = self.n
         cols = self.cols
+        b, nb, segs = self.seg_width, self.nb, self.segs
         outs = []
         if self.mode == _MODE_F64:
             base, rows = self.members[0]
             window = mrf.read_window(base, rows, cols)
-            blocks = np.ascontiguousarray(
-                window.reshape(rows * n, cols, n)
-                .transpose(1, 0, 2).astype(np.float64))
+            blocks = window.reshape(rows * n, cols, n).transpose(1, 0, 2)
+            if nb > 1:
+                blocks = (blocks.reshape(cols, rows * n, nb, b)
+                          .transpose(0, 2, 1, 3).reshape(segs, rows * n, b))
+            blocks = np.ascontiguousarray(blocks.astype(np.float64))
             return [self._f64_member(sim, value, blocks, rows)]
         mant_x, exps = decompose(value, sim._bfp)
-        x_scales = scales_of(exps, sim._bfp).reshape(cols, 1)
+        mant_x = mant_x.reshape(segs, b)
+        x_scales = scales_of(exps, sim._bfp).reshape(segs, 1)
         for base, rows in self.members:
             window = mrf.read_window(base, rows, cols)
             blocks = np.ascontiguousarray(
                 window.reshape(rows * n, cols, n).transpose(1, 0, 2))
             w_mant, w_exps = decompose(blocks.reshape(-1, n), sim._bfp)
-            w_scales = scales_of(w_exps, sim._bfp).reshape(cols, rows * n)
-            w_mant = w_mant.reshape(cols, rows * n, n)
+            w_scales = np.ascontiguousarray(
+                scales_of(w_exps, sim._bfp)
+                .reshape(cols, rows * n, nb).transpose(0, 2, 1)
+                .reshape(segs, rows * n))
+            w_mant = np.ascontiguousarray(
+                w_mant.reshape(cols, rows * n, nb, b)
+                .transpose(0, 2, 1, 3).reshape(segs, rows * n, b))
             if self.mode == _MODE_PACKED:
-                w_mant = sim._pack_rows(w_mant, cols, rows * n, n)
+                w_mant = sim._pack_rows(w_mant, segs, rows * n, b)
                 x_mant = mant_x.astype(np.float64)
                 packed = np.matmul(w_mant,
                                    x_mant[:, :, np.newaxis])[:, :, 0]
                 dots = sim._unpack(packed, rows * n)
                 terms = dots * (w_scales * x_scales)
-                if cols == 1:
+                if segs == 1:
                     acc = terms.reshape(-1)
                 else:
                     acc = terms[0] + terms[1]
-                    for c in range(2, cols):
-                        acc += terms[c]
+                    for s in range(2, segs):
+                        acc += terms[s]
             else:
                 acc = ((w_mant[0] @ mant_x[0]).astype(np.float64)
                        * (w_scales[0] * x_scales[0]))
-                for c in range(1, cols):
-                    acc += ((w_mant[c] @ mant_x[c]).astype(np.float64)
-                            * (w_scales[c] * x_scales[c]))
+                for s in range(1, segs):
+                    acc += ((w_mant[s] @ mant_x[s]).astype(np.float64)
+                            * (w_scales[s] * x_scales[s]))
             out = acc.reshape(rows, n).astype(np.float32)
             outs.append(to_float16(out))
         return outs

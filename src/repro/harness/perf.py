@@ -261,9 +261,11 @@ def bench_timing_sim(kind: str, hidden: int, config: NpuConfig,
 def bench_quantize(config: NpuConfig, vectors: int = 4096,
                    repeats: int = 5) -> BenchResult:
     """Time BFP quantization throughput at the config's format."""
-    fmt = BfpFormat(mantissa_bits=max(config.mantissa_bits, 1),
-                    exponent_bits=config.exponent_bits,
-                    block_size=config.native_dim)
+    fmt = config.bfp_format
+    if fmt is None:  # exact mode: time the narrowest quantized format
+        fmt = BfpFormat(mantissa_bits=1,
+                        exponent_bits=config.exponent_bits,
+                        block_size=config.native_dim)
     rng = np.random.default_rng(3)
     data = rng.standard_normal(
         (vectors, config.native_dim)).astype(np.float32)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -27,23 +27,55 @@ from ..errors import ConfigError
 class BfpFormat:
     """A block floating-point format: 1 sign, shared exponent, mantissa.
 
+    One member of the configurable format family. The paper's MSFP
+    formats share a raw exponent per native block of 128; Microscaling
+    (MX) descendants share an E8M0 power-of-two scale per block of 32.
+
     Attributes:
         mantissa_bits: Magnitude bits per element (2-5 in the paper).
         exponent_bits: Width of the shared exponent field.
-        block_size: Elements sharing one exponent (the native dimension).
+        block_size: Elements sharing one exponent. The paper shares at
+            the native dimension (128); MX formats use 32.
+        scale_granularity: ``"block"`` shares one exponent per
+            ``block_size`` elements; ``"tile"`` widens sharing to the
+            whole trailing axis (one exponent per native row), the
+            coarsest scaling the MVM datapath supports.
+        scale_encoding: ``"shared"`` is the paper's raw exponent field;
+            ``"e8m0"`` is the MX-compliant 8-bit power-of-two scale
+            (bias 127, the all-ones code reserved for NaN, so the top
+            exponent 128 is not encodable).
     """
 
     mantissa_bits: int
     exponent_bits: int = 5
     block_size: int = 128
+    scale_granularity: str = "block"
+    scale_encoding: str = "shared"
 
     def __post_init__(self) -> None:
-        if self.mantissa_bits < 1:
-            raise ConfigError("mantissa_bits must be >= 1")
-        if self.exponent_bits < 2:
-            raise ConfigError("exponent_bits must be >= 2")
-        if self.block_size < 1:
-            raise ConfigError("block_size must be >= 1")
+        if not 1 <= self.mantissa_bits <= 12:
+            raise ConfigError("mantissa_bits must be in [1, 12]")
+        if not 2 <= self.exponent_bits <= 10:
+            # Above 10 exponent bits, 2^max_exponent overflows float64
+            # and the simulator's scale arithmetic stops being exact.
+            raise ConfigError("exponent_bits must be in [2, 10]")
+        if not 1 <= self.block_size <= 4096:
+            raise ConfigError("block_size must be in [1, 4096]")
+        if self.scale_granularity not in ("block", "tile"):
+            raise ConfigError(
+                "scale_granularity must be 'block' or 'tile', got "
+                f"{self.scale_granularity!r}")
+        if self.scale_encoding not in ("shared", "e8m0"):
+            raise ConfigError(
+                "scale_encoding must be 'shared' or 'e8m0', got "
+                f"{self.scale_encoding!r}")
+        if self.scale_encoding == "e8m0" and self.exponent_bits != 8:
+            raise ConfigError(
+                "e8m0 scales are 8-bit by definition; set exponent_bits=8")
+
+    @property
+    def is_e8m0(self) -> bool:
+        return self.scale_encoding == "e8m0"
 
     @property
     def exponent_bias(self) -> int:
@@ -55,20 +87,51 @@ class BfpFormat:
 
     @property
     def max_exponent(self) -> int:
-        return (1 << self.exponent_bits) - 1 - self.exponent_bias
+        # E8M0 reserves the all-ones code (0xFF) for NaN, losing the top
+        # exponent the raw field would otherwise reach.
+        top = (1 << self.exponent_bits) - 1 - self.exponent_bias
+        return top - 1 if self.is_e8m0 else top
 
     @property
     def max_mantissa(self) -> int:
         return (1 << self.mantissa_bits) - 1
 
+    def storage_bits_per_element(
+            self, row_length: Optional[int] = None) -> float:
+        """Average storage bits per element, amortizing the exponent.
+
+        Per-tile scaling amortizes the exponent over the whole row when
+        ``row_length`` is given; per-block scaling (and an unknown row
+        length) amortizes over ``block_size``.
+        """
+        group = self.block_size
+        if self.scale_granularity == "tile" and row_length:
+            group = row_length
+        return 1 + self.mantissa_bits + self.exponent_bits / group
+
     @property
     def bits_per_element(self) -> float:
         """Average storage cost per element, amortizing the exponent."""
-        return 1 + self.mantissa_bits + self.exponent_bits / self.block_size
+        return self.storage_bits_per_element()
+
+    def label(self, native_block: Optional[int] = None) -> str:
+        """Paper-style spec string, e.g. ``1s.e8m0.7m.b32``.
+
+        The block suffix is omitted when the block is the conventional
+        native dimension (``native_block``, defaulting to the paper's
+        128) — ``1s.5e.2m`` stays ``1s.5e.2m``.
+        """
+        scale = "e8m0" if self.is_e8m0 else f"{self.exponent_bits}e"
+        parts = [f"1s.{scale}.{self.mantissa_bits}m"]
+        if self.block_size != (native_block or 128):
+            parts.append(f"b{self.block_size}")
+        if self.scale_granularity == "tile":
+            parts.append("tile")
+        return ".".join(parts)
 
     @property
     def name(self) -> str:
-        return f"1s.{self.exponent_bits}e.{self.mantissa_bits}m"
+        return self.label()
 
     def __str__(self) -> str:
         return self.name
@@ -96,8 +159,16 @@ def _exponents_of(blocks: np.ndarray, fmt: BfpFormat) -> np.ndarray:
     ``floor(log2(max |block|))`` computed exactly via ``frexp`` — for any
     finite float ``a = m * 2^e`` with ``0.5 <= |m| < 1``, the floor of its
     base-2 log is ``e - 1`` — avoiding a transcendental log per block.
+
+    Per-tile granularity takes the maximum across all blocks of a row
+    but keeps the per-block result shape (the shared exponent is
+    broadcast into every block slot), so downstream consumers are
+    layout-agnostic about granularity.
     """
     amax = np.max(np.abs(blocks), axis=-1)
+    if fmt.scale_granularity == "tile":
+        amax = np.broadcast_to(
+            np.max(amax, axis=-1, keepdims=True), amax.shape)
     exponents = np.frexp(amax)[1] - 1
     exponents = np.where(amax > 0, exponents, fmt.min_exponent)
     return np.clip(exponents, fmt.min_exponent, fmt.max_exponent).astype(int)
@@ -172,9 +243,10 @@ def quantize_reference(x: np.ndarray, fmt: BfpFormat) -> np.ndarray:
 
     Computes the same mapping as :func:`quantize` one block at a time
     with scalar :mod:`math` arithmetic — shared exponent from
-    ``math.frexp`` of the block maximum, mantissas via round-half-even
-    (python's ``round``, matching ``np.rint``), clamp to the mantissa
-    range — sharing no code with the vectorized implementation. Used by
+    ``math.frexp`` of the block maximum (or the row maximum under
+    per-tile granularity), mantissas via round-half-even (python's
+    ``round``, matching ``np.rint``), clamp to the mantissa range —
+    sharing no code with the vectorized implementation. Used by
     :mod:`repro.verify` to cross-check the production path bit for bit.
     """
     arr = np.asarray(x)
@@ -186,10 +258,14 @@ def quantize_reference(x: np.ndarray, fmt: BfpFormat) -> np.ndarray:
             "first")
     out = np.zeros(shaped.shape, dtype=np.float32)
     for r in range(shaped.shape[0]):
+        row_amax = max(abs(float(v)) for v in shaped[r])
         for b in range(shaped.shape[1] // fmt.block_size):
             lo, hi = b * fmt.block_size, (b + 1) * fmt.block_size
             block = [float(v) for v in shaped[r, lo:hi]]
-            amax = max(abs(v) for v in block)
+            if fmt.scale_granularity == "tile":
+                amax = row_amax
+            else:
+                amax = max(abs(v) for v in block)
             if amax > 0:
                 exponent = math.frexp(amax)[1] - 1
             else:
@@ -249,3 +325,40 @@ MSFP_RNN = BfpFormat(mantissa_bits=2, exponent_bits=5, block_size=128)
 
 #: The CNN format used by BW_CNN_A10 (Table VI).
 MSFP_CNN = BfpFormat(mantissa_bits=5, exponent_bits=5, block_size=128)
+
+#: Per-tile variant of the RNN format: one exponent per native row,
+#: the cheapest (and noisiest) scaling the datapath supports.
+MSFP_RNN_TILE = BfpFormat(mantissa_bits=2, exponent_bits=5, block_size=128,
+                          scale_granularity="tile")
+
+#: MX-compliant integer-element formats (OCP Microscaling shape:
+#: 32-element blocks scaled by an E8M0 power of two). ``MX_INT8``
+#: models MXINT8's sign + 7 magnitude bits; the narrower members keep
+#: the MX block/scale shape with Brainwave-style mantissa narrowing.
+MX_INT8 = BfpFormat(mantissa_bits=7, exponent_bits=8, block_size=32,
+                    scale_encoding="e8m0")
+MX_INT6 = BfpFormat(mantissa_bits=5, exponent_bits=8, block_size=32,
+                    scale_encoding="e8m0")
+MX_INT4 = BfpFormat(mantissa_bits=3, exponent_bits=8, block_size=32,
+                    scale_encoding="e8m0")
+
+#: The named format family, for CLI sweeps, the synthesis specializer,
+#: and golden-vector conformance suites.
+FORMAT_FAMILY: Dict[str, BfpFormat] = {
+    "msfp_rnn": MSFP_RNN,
+    "msfp_cnn": MSFP_CNN,
+    "msfp_rnn_tile": MSFP_RNN_TILE,
+    "mx_int8": MX_INT8,
+    "mx_int6": MX_INT6,
+    "mx_int4": MX_INT4,
+}
+
+
+def named_format(name: str) -> BfpFormat:
+    """Look up a format family member by registry name."""
+    try:
+        return FORMAT_FAMILY[name]
+    except KeyError:
+        known = ", ".join(sorted(FORMAT_FAMILY))
+        raise ConfigError(
+            f"unknown numeric format {name!r}; known: {known}") from None

@@ -14,14 +14,17 @@ from .resources import (
     ResourceEstimate,
     check_fits,
     estimate,
+    exponent_groups_per_row,
     mrf_m20ks,
     weight_storage_bits,
 )
 from .specializer import (
     Candidate,
+    FormatCandidate,
     ModelRequirements,
     best_config,
     candidate_space,
+    format_pareto,
     rnn_requirements,
     specialize,
 )
@@ -30,6 +33,7 @@ __all__ = [
     "FpgaDevice", "DEVICES", "STRATIX_V_D5", "ARRIA_10_1150",
     "STRATIX_10_280", "device_by_name", "FamilyCoefficients",
     "FAMILY_COEFFICIENTS", "ResourceEstimate", "estimate", "check_fits",
-    "mrf_m20ks", "weight_storage_bits", "Candidate", "ModelRequirements",
-    "best_config", "candidate_space", "rnn_requirements", "specialize",
+    "exponent_groups_per_row", "mrf_m20ks", "weight_storage_bits",
+    "Candidate", "FormatCandidate", "ModelRequirements", "best_config",
+    "candidate_space", "format_pareto", "rnn_requirements", "specialize",
 ]

@@ -101,13 +101,30 @@ def weight_storage_bits(config: NpuConfig) -> int:
     return 1 + config.mantissa_bits
 
 
+def exponent_groups_per_row(config: NpuConfig) -> int:
+    """Shared exponents stored per native matrix row.
+
+    The paper's scheme (one exponent per native row — whole-row blocks,
+    or any block size under per-tile granularity) stores exponents in
+    the narrow side structure covered by the fitted per-family M20K
+    overhead. Microscaling-style sub-row blocks multiply this count.
+    """
+    if config.mantissa_bits == 0 or config.scale_granularity == "tile":
+        return 1
+    return config.native_dim // config.effective_block_size
+
+
 def mrf_m20ks(config: NpuConfig, device: FpgaDevice) -> int:
     """M20K blocks for the matrix register file.
 
     Each of the ``tiles * N`` dot-product engines owns a private bank
     (Section V-A: one read port per multiplier); the bank must deliver
     ``lanes * weight_bits`` bits per cycle (width slices) and hold
-    ``mrf_size * N * weight_bits / tiles`` bits (depth slices).
+    ``mrf_size * N * weight_bits / tiles`` bits (depth slices). When a
+    format keeps more than one shared exponent per native row, the extra
+    exponents ride in the same banks and deepen them; the single per-row
+    exponent of the paper's scheme stays in the fitted side-structure
+    overhead, so Table III calibration points are unchanged.
     """
     wbits = weight_storage_bits(config)
     dpe_count = config.tile_engines * config.native_dim
@@ -115,6 +132,12 @@ def mrf_m20ks(config: NpuConfig, device: FpgaDevice) -> int:
     width_slices = math.ceil(width_bits / device.m20k_width)
     bank_bits = (config.mrf_size * config.native_dim * wbits
                  / config.tile_engines)
+    groups = exponent_groups_per_row(config)
+    if groups > 1:
+        # mrf_size / tiles native rows per bank, ``groups`` exponents
+        # of ``exponent_bits`` each beyond the side-structure one.
+        bank_bits += (config.mrf_size * (groups - 1)
+                      * config.exponent_bits / config.tile_engines)
     usable_bits_per_group = device.m20k_depth * width_bits
     depth_groups = math.ceil(bank_bits / max(usable_bits_per_group, 1))
     return dpe_count * width_slices * depth_groups

@@ -76,9 +76,26 @@ def candidate_space(device: FpgaDevice,
                     lane_options: Sequence[int] = (4, 8, 10, 16, 20, 32,
                                                    40, 64),
                     tile_options: Sequence[int] = (1, 2, 4, 6, 8, 12, 16),
-                    mantissa_bits: int = 2) -> Iterable[NpuConfig]:
-    """Enumerate the synthesis-parameter grid for a device."""
+                    mantissa_bits: int = 2,
+                    fmt=None) -> Iterable[NpuConfig]:
+    """Enumerate the synthesis-parameter grid for a device.
+
+    ``fmt`` (a :class:`~repro.numerics.BfpFormat`) pins the full weight
+    format — mantissa/exponent widths, scale-block size, granularity,
+    and encoding; native dimensions its block size does not divide are
+    skipped. Without it only ``mantissa_bits`` varies (the paper's
+    whole-row scheme).
+    """
+    fmt_kwargs = {}
+    if fmt is not None:
+        mantissa_bits = fmt.mantissa_bits
+        fmt_kwargs = {"exponent_bits": fmt.exponent_bits,
+                      "bfp_block_size": fmt.block_size,
+                      "scale_granularity": fmt.scale_granularity,
+                      "scale_encoding": fmt.scale_encoding}
     for n in native_dims:
+        if fmt is not None and n % fmt.block_size != 0:
+            continue
         for lanes in lane_options:
             if n % lanes != 0:
                 continue
@@ -87,18 +104,22 @@ def candidate_space(device: FpgaDevice,
                     name=f"bw_{device.family}_t{tiles}l{lanes}n{n}",
                     tile_engines=tiles, lanes=lanes, native_dim=n,
                     mrf_size=1, mfus=2, mantissa_bits=mantissa_bits,
-                    clock_mhz=device.clock_mhz, device=device.name)
+                    clock_mhz=device.clock_mhz, device=device.name,
+                    **fmt_kwargs)
 
 
 def specialize(requirements: ModelRequirements, device: FpgaDevice,
                mantissa_bits: int = 2,
-               native_dims: Optional[Sequence[int]] = None
-               ) -> List[Candidate]:
+               native_dims: Optional[Sequence[int]] = None,
+               fmt=None) -> List[Candidate]:
     """Rank feasible instances for a model on a device.
 
     Returns candidates sorted by effective TFLOPS (descending). The MRF
     is sized to pin the model's weights (packed storage) with a small
     margin; candidates whose resources exceed the device are dropped.
+    ``fmt`` pins a full :class:`~repro.numerics.BfpFormat` (Microscaling
+    block sizes, E8M0 scales, per-tile granularity) instead of just the
+    mantissa width.
 
     Raises:
         SynthesisError: if no candidate fits the device at all.
@@ -109,7 +130,7 @@ def specialize(requirements: ModelRequirements, device: FpgaDevice,
         kwargs["native_dims"] = native_dims
     candidates: List[Candidate] = []
     for base in candidate_space(device, mantissa_bits=mantissa_bits,
-                                **kwargs):
+                                fmt=fmt, **kwargs):
         mrf_size = max(1, math.ceil(requirements.total_weights / n2(base)))
         cfg = base.replace(mrf_size=mrf_size)
         try:
@@ -135,3 +156,51 @@ def best_config(requirements: ModelRequirements, device: FpgaDevice,
     """The highest-effective-throughput feasible instance."""
     return specialize(requirements, device,
                       mantissa_bits=mantissa_bits)[0]
+
+
+@dataclasses.dataclass(frozen=True)
+class FormatCandidate:
+    """Best feasible instance for one weight format, with its accuracy
+    point from the numerics sweep."""
+
+    format_key: str
+    candidate: Candidate
+    bits_per_element: float
+    matvec_snr_db: float
+
+    @property
+    def m20ks(self) -> int:
+        return self.candidate.resources.m20ks
+
+
+def format_pareto(requirements: ModelRequirements, device: FpgaDevice,
+                  formats=None, seed: int = 0) -> List[FormatCandidate]:
+    """Sweep the format family for a model on a device.
+
+    For each format, specialize the instance grid under that format and
+    pair the best candidate with the format's accuracy point from
+    :func:`repro.numerics.sweep_formats` — the accuracy-vs-resource
+    trade the synthesis flow ranks when choosing a per-model data type
+    (Section VI). Formats with no feasible instance are dropped. Results
+    are sorted by storage cost (ascending bits per element).
+    """
+    from ..numerics import FORMAT_FAMILY, sweep_formats
+    formats = dict(formats) if formats else dict(FORMAT_FAMILY)
+    accuracy = {p.key: p for p in sweep_formats(formats, seed=seed)}
+    out: List[FormatCandidate] = []
+    for key, fmt in formats.items():
+        try:
+            cand = specialize(requirements, device, fmt=fmt)[0]
+        except SynthesisError:
+            continue
+        point = accuracy[key]
+        out.append(FormatCandidate(
+            format_key=key, candidate=cand,
+            bits_per_element=point.bits_per_element,
+            matvec_snr_db=point.matvec_snr_db))
+    if not out:
+        raise SynthesisError(
+            f"no format-family instance for {requirements.name} fits "
+            f"{device.name}")
+    out.sort(key=lambda f: (f.bits_per_element, f.format_key))
+    return out

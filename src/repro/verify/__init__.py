@@ -19,15 +19,15 @@ from .corpus import case_from_json, case_to_json, load_corpus_case, save_case
 from .differential import (CaseInvalid, DiffResult, check_timing_invariants,
                            load_reference, load_simulator, run_differential)
 from .fuzz import FuzzFailure, FuzzReport, replay_corpus, run_fuzz
-from .generator import (FUZZ_CONFIGS, PROFILES, FuzzProfile, ProgramCase,
-                        generate_case)
+from .generator import (FORMAT_POOL, FUZZ_CONFIGS, PROFILES, FuzzProfile,
+                        ProgramCase, generate_case)
 from .reference import ReferenceInterpreter
 from .shrink import shrink_case
 
 __all__ = [
     "CaseInvalid", "DiffResult", "check_timing_invariants",
     "load_reference", "load_simulator", "run_differential",
-    "FUZZ_CONFIGS", "PROFILES", "FuzzProfile", "ProgramCase",
+    "FORMAT_POOL", "FUZZ_CONFIGS", "PROFILES", "FuzzProfile", "ProgramCase",
     "generate_case", "ReferenceInterpreter", "shrink_case",
     "case_from_json", "case_to_json", "load_corpus_case", "save_case",
     "FuzzFailure", "FuzzReport", "replay_corpus", "run_fuzz",

@@ -27,21 +27,44 @@ from ..isa.memspace import MemId, ScalarReg
 from ..isa.opcodes import FuCategory, Opcode
 from ..isa.program import Loop, NpuProgram, SetScalar
 
+def _fuzz_config(name: str, dim: int, mb: int, **kw) -> NpuConfig:
+    return NpuConfig(name=name, tile_engines=2, lanes=4, native_dim=dim,
+                     mrf_size=48, mfus=2, initial_vrf_depth=32,
+                     addsub_vrf_depth=32, multiply_vrf_depth=32,
+                     mantissa_bits=mb, **kw)
+
+
 #: Pool of small configurations the fuzzer draws from: BFP-quantized at
-#: both Table IV mantissa widths, exact mode, and a wider native
-#: dimension. All are tiny so the pure-python reference stays fast.
+#: both Table IV mantissa widths, exact mode, a wider native dimension,
+#: and the Microscaling-style format family (sub-native scale blocks,
+#: E8M0 power-of-two scales, per-tile granularity). All are tiny so the
+#: pure-python reference stays fast.
 FUZZ_CONFIGS: Dict[str, NpuConfig] = {
-    name: NpuConfig(name=name, tile_engines=2, lanes=4, native_dim=dim,
-                    mrf_size=48, mfus=2, initial_vrf_depth=32,
-                    addsub_vrf_depth=32, multiply_vrf_depth=32,
-                    mantissa_bits=mb)
-    for name, dim, mb in [
-        ("fuzz8_m2", 8, 2),
-        ("fuzz8_m5", 8, 5),
-        ("fuzz8_exact", 8, 0),
-        ("fuzz16_m2", 16, 2),
+    cfg.name: cfg for cfg in [
+        _fuzz_config("fuzz8_m2", 8, 2),
+        _fuzz_config("fuzz8_m5", 8, 5),
+        _fuzz_config("fuzz8_exact", 8, 0),
+        _fuzz_config("fuzz16_m2", 16, 2),
+        # -- format-family configs (the ``formats`` profile pool) --------
+        _fuzz_config("fuzz16_mx8", 16, 7, exponent_bits=8,
+                     bfp_block_size=4, scale_encoding="e8m0"),
+        _fuzz_config("fuzz16_mx4", 16, 3, exponent_bits=8,
+                     bfp_block_size=8, scale_encoding="e8m0"),
+        _fuzz_config("fuzz8_b4", 8, 2, bfp_block_size=4),
+        _fuzz_config("fuzz8_b2m5", 8, 5, bfp_block_size=2),
+        _fuzz_config("fuzz8_tile", 8, 3, bfp_block_size=4,
+                     scale_granularity="tile"),
+        _fuzz_config("fuzz16_tile_mx", 16, 5, exponent_bits=8,
+                     bfp_block_size=4, scale_granularity="tile",
+                     scale_encoding="e8m0"),
     ]
 }
+
+#: Configuration names the format-family profile cycles through: every
+#: scale-block size, encoding, and granularity variant plus one classic
+#: whole-row format as the nb == 1 control.
+FORMAT_POOL = ("fuzz16_mx8", "fuzz16_mx4", "fuzz8_b4", "fuzz8_b2m5",
+               "fuzz8_tile", "fuzz16_tile_mx", "fuzz8_m2")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -69,6 +92,9 @@ class FuzzProfile:
     #: Events per program (before loop folding).
     min_events: int = 4
     max_events: int = 14
+    #: Restrict the per-seed configuration draw to these
+    #: :data:`FUZZ_CONFIGS` names (``None`` = the whole pool).
+    config_pool: Optional[Sequence[str]] = None
 
 
 #: Named opcode-weight profiles for the CLI.
@@ -81,6 +107,9 @@ PROFILES: Dict[str, FuzzProfile] = {
                              p_multicast=0.35),
     "memory": FuzzProfile(name="memory", p_mv_mul=0.3, w_matrix_chain=4.0,
                           p_netq=0.5, mean_pointwise=0.8),
+    "formats": FuzzProfile(name="formats", p_mv_mul=0.9,
+                           w_matrix_chain=2.5, mean_pointwise=1.0,
+                           config_pool=FORMAT_POOL),
 }
 
 #: Point-wise opcodes in the order ``pointwise_weights`` indexes them.
@@ -172,7 +201,8 @@ def generate_case(seed: int, profile: Optional[FuzzProfile] = None,
     profile = profile or PROFILES["default"]
     rng = np.random.default_rng(seed)
     if config is None:
-        names = sorted(FUZZ_CONFIGS)
+        names = (list(profile.config_pool) if profile.config_pool
+                 else sorted(FUZZ_CONFIGS))
         config = FUZZ_CONFIGS[names[int(rng.integers(len(names)))]]
     state = _GenState(rng, config, profile)
 

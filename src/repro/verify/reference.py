@@ -10,11 +10,12 @@ quantization uses the pure-python oracle
 
 Bit-exactness notes (why a python loop can match the vectorized engine):
 
-* Quantized MVM — within one native block every product shares a single
+* Quantized MVM — within one scale block every product shares a single
   power-of-two scale, so float64 partial sums are exact integers times
   that scale; any summation order yields the same value. Cross-block
-  terms are accumulated in the executor's reference order ``c = 0, 1,
-  ...``, so those (inexact) float64 additions match too.
+  terms are accumulated in the executor's reference order — ``(c, k)``
+  lexicographic over column tiles ``c`` and sub-row scale blocks ``k``
+  — so those (inexact) float64 additions match too.
 * Exact-mode MVM (``mantissa_bits == 0``) — each tile contribution is
   computed with the same per-tile float64 matvec expression as the
   executor's naive loop, keeping BLAS summation order identical.
@@ -38,7 +39,7 @@ from ..isa.chain import InstructionChain
 from ..isa.memspace import MemId, ScalarReg
 from ..isa.opcodes import Opcode
 from ..isa.program import NpuProgram, SetScalar
-from ..numerics.bfp import BfpFormat, quantize_reference
+from ..numerics.bfp import quantize_reference
 
 #: VRF memory spaces, in snapshot order.
 _VRFS = (MemId.InitialVrf, MemId.AddSubVrf, MemId.MultiplyVrf)
@@ -61,12 +62,7 @@ class ReferenceInterpreter:
         self.config = config
         n = config.native_dim
         self.exact = config.mantissa_bits == 0
-        if not self.exact:
-            self._fmt = BfpFormat(mantissa_bits=config.mantissa_bits,
-                                  exponent_bits=config.exponent_bits,
-                                  block_size=n)
-        else:
-            self._fmt = None
+        self._fmt = config.bfp_format
         depths = {MemId.InitialVrf: config.initial_vrf_depth,
                   MemId.AddSubVrf: config.addsub_vrf_depth,
                   MemId.MultiplyVrf: config.multiply_vrf_depth}
@@ -309,19 +305,26 @@ class ReferenceInterpreter:
                     out[r] += tile.astype(np.float64) @ inputs[c]
             return out.astype(np.float32)
         quantized = quantize_reference(value, self._fmt)
+        bs = self._fmt.block_size
+        nb = n // bs
         out = np.zeros((rows, n), dtype=np.float64)
         for r in range(rows):
             acc = [0.0] * n
             for c in range(cols):
                 tile = self.mrf[base + r * cols + c]
                 for i in range(n):
-                    # One native-block dot: products share a single
-                    # power-of-two scale, so float64 accumulation is
-                    # exact in any order.
-                    dot = 0.0
-                    for j in range(n):
-                        dot += float(tile[i, j]) * float(quantized[c, j])
-                    acc[i] += dot  # cross-block: reference order c=0,1,…
+                    total = acc[i]
+                    for k in range(nb):
+                        # One scale-block dot: products share a single
+                        # power-of-two scale, so float64 accumulation
+                        # is exact in any order.
+                        dot = 0.0
+                        for j in range(k * bs, (k + 1) * bs):
+                            dot += float(tile[i, j]) * float(quantized[c, j])
+                        # Cross-block additions are inexact: reference
+                        # order is (c, k) lexicographic.
+                        total += dot
+                    acc[i] = total
             out[r] = acc
         return _f16(out.astype(np.float32))
 

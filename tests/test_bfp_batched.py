@@ -19,6 +19,8 @@ from repro.isa import MemId, ProgramBuilder
 from repro.numerics.bfp import (
     MSFP_CNN,
     MSFP_RNN,
+    MX_INT4,
+    MX_INT8,
     BfpFormat,
     decompose,
     quantize,
@@ -26,8 +28,10 @@ from repro.numerics.bfp import (
 )
 
 formats = st.sampled_from([
-    MSFP_RNN, MSFP_CNN,
+    MSFP_RNN, MSFP_CNN, MX_INT8, MX_INT4,
     BfpFormat(mantissa_bits=3, exponent_bits=5, block_size=16),
+    BfpFormat(mantissa_bits=2, exponent_bits=5, block_size=16,
+              scale_granularity="tile"),
 ])
 
 finite32 = st.floats(-1e4, 1e4, allow_nan=False, width=32)

@@ -52,6 +52,25 @@ class TestValidation:
         with pytest.raises(ConfigError):
             make(clock_mhz=0)
 
+    def test_bfp_block_size_must_divide_native_dim(self):
+        with pytest.raises(ConfigError):
+            make(bfp_block_size=3)
+        with pytest.raises(ConfigError):
+            make(bfp_block_size=-4)
+        assert make(bfp_block_size=4).effective_block_size == 4
+        assert make(bfp_block_size=0).effective_block_size == 8
+
+    def test_scale_granularity_and_encoding_validated(self):
+        with pytest.raises(ConfigError):
+            make(scale_granularity="row")
+        with pytest.raises(ConfigError):
+            make(scale_encoding="fp8")
+        with pytest.raises(ConfigError):
+            make(scale_encoding="e8m0", exponent_bits=5)
+        cfg = make(scale_encoding="e8m0", exponent_bits=8,
+                   bfp_block_size=4)
+        assert cfg.bfp_format.is_e8m0
+
     def test_frozen(self):
         with pytest.raises(dataclasses.FrozenInstanceError):
             make().name = "other"
@@ -92,6 +111,28 @@ class TestDerived:
     def test_precision_name(self):
         assert make(mantissa_bits=2).precision_name == "BFP (1s.5e.2m)"
         assert "exact" in make(mantissa_bits=0).precision_name
+
+    def test_precision_name_shows_mx_block(self):
+        cfg = make(mantissa_bits=7, exponent_bits=8, bfp_block_size=4,
+                   scale_encoding="e8m0")
+        assert cfg.precision_name == "BFP (1s.e8m0.7m.b4)"
+
+    def test_bfp_format_single_authority(self):
+        cfg = make(mantissa_bits=3, bfp_block_size=4,
+                   scale_granularity="tile")
+        fmt = cfg.bfp_format
+        assert fmt.block_size == 4
+        assert fmt.scale_granularity == "tile"
+        assert make(mantissa_bits=0).bfp_format is None
+
+    def test_weight_bits_tile_granularity_amortizes_over_row(self):
+        cfg = make(mantissa_bits=2, exponent_bits=5, bfp_block_size=4,
+                   scale_granularity="tile")
+        assert cfg.weight_bits_per_element == pytest.approx(3 + 5 / 8)
+
+    def test_weight_bits_sub_block(self):
+        cfg = make(mantissa_bits=2, exponent_bits=5, bfp_block_size=4)
+        assert cfg.weight_bits_per_element == pytest.approx(3 + 5 / 4)
 
     def test_native_tiles_for(self):
         cfg = make(native_dim=8)

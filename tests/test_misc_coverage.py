@@ -32,7 +32,11 @@ class TestNumericsEdges:
         assert stats.rel_rms_error == float("inf")
 
     def test_format_str(self):
-        assert str(BfpFormat(3, block_size=64)) == "1s.5e.3m"
+        # Non-native block sizes are called out in the name; the default
+        # 128-element block keeps the paper's bare Table IV notation.
+        assert str(BfpFormat(3, block_size=64)) == "1s.5e.3m.b64"
+        assert str(BfpFormat(3)) == "1s.5e.3m"
+        assert BfpFormat(3, block_size=64).label(native_block=64) == "1s.5e.3m"
 
 
 class TestChainRecord:

@@ -52,6 +52,44 @@ class TestFormat:
         with pytest.raises(ConfigError):
             BfpFormat(2, block_size=0)
 
+    def test_format_bounds_rejected(self):
+        with pytest.raises(ConfigError, match="mantissa_bits"):
+            BfpFormat(13)
+        with pytest.raises(ConfigError, match="exponent_bits"):
+            BfpFormat(2, exponent_bits=11)
+        with pytest.raises(ConfigError, match="block_size"):
+            BfpFormat(2, block_size=4097)
+        with pytest.raises(ConfigError, match="block_size"):
+            BfpFormat(2, block_size=-8)
+
+    def test_bad_granularity_and_encoding_rejected(self):
+        with pytest.raises(ConfigError, match="scale_granularity"):
+            BfpFormat(2, scale_granularity="row")
+        with pytest.raises(ConfigError, match="scale_encoding"):
+            BfpFormat(2, scale_encoding="e5m2")
+
+    def test_e8m0_requires_8_exponent_bits(self):
+        with pytest.raises(ConfigError, match="e8m0"):
+            BfpFormat(2, exponent_bits=5, scale_encoding="e8m0")
+        fmt = BfpFormat(2, exponent_bits=8, scale_encoding="e8m0")
+        assert fmt.is_e8m0
+        assert fmt.max_exponent == 127  # 0xFF is the NaN code
+        assert fmt.min_exponent == -127
+
+    def test_named_format_lookup(self):
+        from repro.numerics import named_format
+        assert named_format("mx_int8").block_size == 32
+        with pytest.raises(ConfigError, match="unknown numeric format"):
+            named_format("fp8")
+
+    def test_tile_granularity_storage_amortizes_over_row(self):
+        fmt = BfpFormat(2, exponent_bits=5, block_size=32,
+                        scale_granularity="tile")
+        assert fmt.storage_bits_per_element(128) == pytest.approx(
+            3 + 5 / 128)
+        # Without a row length the amortization falls back to the block.
+        assert fmt.bits_per_element == pytest.approx(3 + 5 / 32)
+
     def test_max_mantissa(self):
         assert BfpFormat(3).max_mantissa == 7
 

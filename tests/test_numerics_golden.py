@@ -1,0 +1,78 @@
+"""Golden-vector conformance: committed JSON vectors per format.
+
+Each file under ``tests/golden/numerics/`` pins the exact quantized
+values, integer mantissas, and shared exponents for one format-family
+member on a fixed workload (seeded rows plus E8M0 boundary-exponent and
+max-mantissa saturation edges). Regenerate with
+``scripts/gen_numerics_golden.py`` after an intentional change.
+
+The replay asserts three independent implementations against the
+committed truth: the scalar oracle (:func:`quantize_reference`), the
+vectorized quantizer (:func:`quantize`), and the executor's operand
+split (:func:`decompose` + :func:`scales_of` reconstruction).
+"""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.numerics.bfp import (FORMAT_FAMILY, BfpFormat, decompose,
+                                quantize, quantize_reference, scales_of)
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden" / "numerics"
+
+_FILES = sorted(GOLDEN_DIR.glob("*.json"))
+
+
+def _load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def test_every_family_member_has_a_golden_file():
+    assert {p.stem for p in _FILES} == set(FORMAT_FAMILY)
+
+
+@pytest.mark.parametrize("path", _FILES, ids=lambda p: p.stem)
+def test_golden_vectors_replay(path):
+    payload = _load(path)
+    spec = payload["format"]
+    fmt = BfpFormat(mantissa_bits=spec["mantissa_bits"],
+                    exponent_bits=spec["exponent_bits"],
+                    block_size=spec["block_size"],
+                    scale_granularity=spec["scale_granularity"],
+                    scale_encoding=spec["scale_encoding"])
+    assert fmt == FORMAT_FAMILY[spec["key"]]
+    assert fmt.name == spec["label"]
+
+    x = np.asarray(payload["input"], dtype=np.float32)
+    want_values = np.asarray(payload["values"], dtype=np.float32)
+    want_mant = np.asarray(payload["mantissas"], dtype=np.int64)
+    want_exps = np.asarray(payload["exponents"], dtype=np.int64)
+
+    assert np.array_equal(quantize_reference(x, fmt), want_values)
+    assert np.array_equal(quantize(x, fmt), want_values)
+    mant, exps = decompose(x, fmt)
+    assert np.array_equal(mant.astype(np.int64), want_mant)
+    assert np.array_equal(np.asarray(exps, dtype=np.int64), want_exps)
+    # The operand split reconstructs the committed values exactly.
+    nb = x.shape[-1] // fmt.block_size
+    rebuilt = (mant.astype(np.float64)
+               .reshape(x.shape[0], nb, fmt.block_size)
+               * scales_of(exps, fmt)[..., np.newaxis]).reshape(x.shape)
+    assert np.array_equal(rebuilt.astype(np.float32), want_values)
+
+
+@pytest.mark.parametrize("path", _FILES, ids=lambda p: p.stem)
+def test_golden_edges_cover_boundaries(path):
+    """The committed workloads really do exercise the boundaries: both
+    exponent clamps are hit and some mantissa saturates."""
+    payload = _load(path)
+    fmt = FORMAT_FAMILY[payload["format"]["key"]]
+    exps = np.asarray(payload["exponents"])
+    mant = np.abs(np.asarray(payload["mantissas"]))
+    assert exps.max() == fmt.max_exponent
+    assert exps.min() == fmt.min_exponent
+    assert mant.max() == fmt.max_mantissa

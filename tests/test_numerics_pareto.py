@@ -1,0 +1,116 @@
+"""Pareto sweep of the format family, and the committed artifact.
+
+``BENCH_numerics.json`` (regenerate with ``python -m repro
+numerics-sweep --output BENCH_numerics.json``) records the
+accuracy-vs-storage trade across the family on the standard seeded
+workload. The tests pin its structure — at least six formats, an E8M0
+member, a non-trivial Pareto front — and check the committed numbers
+against a fresh sweep within a small tolerance, so the artifact cannot
+drift silently away from the code.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.numerics import (FORMAT_FAMILY, ParetoPoint, named_format,
+                            pareto_front, render_pareto_table,
+                            sweep_formats)
+
+BENCH_PATH = pathlib.Path(__file__).parents[1] / "BENCH_numerics.json"
+
+
+@pytest.fixture(scope="module")
+def committed():
+    with open(BENCH_PATH) as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def fresh(committed):
+    wl = committed["workload"]
+    return sweep_formats(rows=wl["rows"], width=wl["width"],
+                         seed=wl["seed"])
+
+
+class TestSweep:
+    def test_sweep_is_deterministic(self):
+        one = sweep_formats(rows=8, width=128, seed=3)
+        two = sweep_formats(rows=8, width=128, seed=3)
+        assert one == two
+
+    def test_sweep_sorted_by_storage_cost(self, fresh):
+        bits = [p.bits_per_element for p in fresh]
+        assert bits == sorted(bits)
+
+    def test_more_mantissa_bits_raise_snr(self):
+        points = {p.key: p for p in sweep_formats(
+            {k: named_format(k) for k in ("mx_int4", "mx_int6",
+                                          "mx_int8")},
+            rows=16, width=64, seed=1)}
+        assert (points["mx_int4"].matvec_snr_db
+                < points["mx_int6"].matvec_snr_db
+                < points["mx_int8"].matvec_snr_db)
+
+    def test_width_must_fit_every_block(self):
+        with pytest.raises(ConfigError, match="not a multiple"):
+            sweep_formats(rows=8, width=100, seed=0)
+
+    def test_render_table_marks_front(self, fresh):
+        table = render_pareto_table(fresh)
+        assert "bits/elem" in table
+        assert "*" in table
+        for p in fresh:
+            assert p.format_name in table
+
+
+class TestParetoFront:
+    def test_front_is_non_dominated(self, fresh):
+        front = pareto_front(fresh)
+        assert front  # never empty
+        for f in front:
+            for p in fresh:
+                dominates = (p.bits_per_element <= f.bits_per_element
+                             and p.matvec_snr_db > f.matvec_snr_db)
+                assert not dominates
+
+    def test_dominated_point_excluded(self):
+        a = ParetoPoint(key="a", format_name="a", bits_per_element=3.0,
+                        quantize_snr_db=5.0, quantize_rel_rms=0.5,
+                        matvec_snr_db=5.0, matvec_rel_rms=0.5)
+        b = ParetoPoint(key="b", format_name="b", bits_per_element=4.0,
+                        quantize_snr_db=4.0, quantize_rel_rms=0.6,
+                        matvec_snr_db=4.0, matvec_rel_rms=0.6)
+        assert pareto_front([a, b]) == [a]
+
+
+class TestCommittedArtifact:
+    def test_covers_the_family(self, committed):
+        keys = {p["key"] for p in committed["points"]}
+        assert keys == set(FORMAT_FAMILY)
+        assert len(keys) >= 6
+        # At least one MX E8M0 configuration is swept.
+        assert any(named_format(k).is_e8m0 for k in keys)
+
+    def test_front_recorded(self, committed):
+        assert committed["pareto_front"]
+        keys = {p["key"] for p in committed["points"]}
+        assert set(committed["pareto_front"]) <= keys
+
+    def test_numbers_match_fresh_sweep(self, committed, fresh):
+        by_key = {p.key: p for p in fresh}
+        for rec in committed["points"]:
+            point = by_key[rec["key"]]
+            assert rec["format_name"] == point.format_name
+            assert rec["bits_per_element"] == pytest.approx(
+                point.bits_per_element)
+            for field in ("quantize_snr_db", "matvec_snr_db",
+                          "quantize_rel_rms", "matvec_rel_rms"):
+                assert rec[field] == pytest.approx(
+                    getattr(point, field), rel=1e-6), rec["key"]
+
+    def test_front_matches_fresh_sweep(self, committed, fresh):
+        assert committed["pareto_front"] == [
+            p.key for p in pareto_front(fresh)]

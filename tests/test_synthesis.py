@@ -14,6 +14,8 @@ from repro.synthesis import (
     check_fits,
     device_by_name,
     estimate,
+    exponent_groups_per_row,
+    format_pareto,
     mrf_m20ks,
     rnn_requirements,
     specialize,
@@ -91,6 +93,33 @@ class TestResourceModel:
     def test_summary_renders(self):
         assert "BW_S10" in estimate(BW_S10).summary()
 
+    def test_exponent_groups_per_row(self):
+        # Paper scheme (whole-row block) and per-tile granularity keep
+        # the exponent in the fitted side structure.
+        assert exponent_groups_per_row(BW_S10) == 1
+        assert exponent_groups_per_row(
+            BW_S10.replace(bfp_block_size=100,
+                           scale_granularity="tile")) == 1
+        assert exponent_groups_per_row(
+            BW_S10.replace(mantissa_bits=0)) == 1
+        # Microscaling sub-row blocks multiply it.
+        assert exponent_groups_per_row(
+            BW_A10.replace(bfp_block_size=32, exponent_bits=8,
+                           mantissa_bits=7,
+                           scale_encoding="e8m0")) == 4
+
+    def test_sub_block_exponents_deepen_mrf_banks(self):
+        """Sub-row scale blocks store extra exponents in the MRF banks;
+        the native-row scheme is the unchanged Table III baseline."""
+        wide = BW_A10.replace(exponent_bits=8, mantissa_bits=7)
+        base = mrf_m20ks(wide, ARRIA_10_1150)
+        mx = wide.replace(bfp_block_size=8, scale_encoding="e8m0")
+        assert mrf_m20ks(mx, ARRIA_10_1150) > base
+        tile = BW_A10.replace(bfp_block_size=16,
+                              scale_granularity="tile")
+        assert mrf_m20ks(tile, ARRIA_10_1150) == \
+            mrf_m20ks(BW_A10, ARRIA_10_1150)
+
 
 class TestSpecializer:
     def test_requirements_padding_efficiency(self):
@@ -154,3 +183,24 @@ class TestSpecializer:
         assert cand.config.mrf_capacity_elements >= needed
         # ... with less than 4x slack (no wild overprovisioning).
         assert cand.config.mrf_capacity_elements < 4 * needed
+
+    def test_specialize_with_pinned_format(self):
+        from repro.numerics import MX_INT8
+        req = rnn_requirements("gru", 1024)
+        cands = specialize(req, STRATIX_10_280, fmt=MX_INT8)
+        # The pinned format round-trips through the config exactly, and
+        # every candidate's native dim is a multiple of the MX block.
+        assert cands[0].config.bfp_format == MX_INT8
+        assert all(c.config.native_dim % 32 == 0 for c in cands)
+
+    def test_format_pareto_trades_accuracy_for_resources(self):
+        req = rnn_requirements("gru", 1024)
+        fcs = format_pareto(req, STRATIX_10_280)
+        assert len(fcs) >= 6
+        bits = [f.bits_per_element for f in fcs]
+        assert bits == sorted(bits)
+        # The widest format buys the most accuracy and every candidate
+        # fits its device.
+        assert max(fcs, key=lambda f: f.matvec_snr_db).format_key == \
+            "mx_int8"
+        assert all(f.candidate.resources.fits for f in fcs)
