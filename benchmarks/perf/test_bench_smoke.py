@@ -14,9 +14,12 @@ import pytest
 
 from repro.harness.perf import (
     BATCH16_GATE_QUICK,
+    BATCHING_GATE,
+    BATCHING_GATE_QUICK,
     COMPILED_GATE_QUICK,
     HEADLINE,
     batch16_headline_speedup,
+    batching_goodput_ratio,
     bench_batch_sweep,
     bench_compiled_rnn,
     bench_functional_rnn,
@@ -71,6 +74,31 @@ def test_headline_compiled_beats_vectorized(quick_payload):
     assert agg >= BATCH16_GATE_QUICK, (
         f"batch=16 replay aggregate throughput is only {agg:.2f}x the "
         f"vectorized interpreter — the batched layer regressed")
+
+
+def test_headline_dynamic_batching_goodput(quick_payload):
+    """The serving-layer gate: dynamic batching must beat the batch-1
+    server on goodput at the same p99 SLO."""
+    kind, hidden, cfg = HEADLINE
+    names = {(r["name"], r["config"])
+             for r in quick_payload["results"]}
+    assert (f"batching_goodput_{kind}_h{hidden}", cfg) in names
+    ratio = batching_goodput_ratio(results_from_json(quick_payload))
+    assert ratio is not None
+    assert ratio >= BATCHING_GATE_QUICK, (
+        f"dynamic batching sustains only {ratio:.2f}x the batch-1 "
+        f"goodput at equal SLO — the serving layer regressed")
+    assert quick_payload["headline"]["batching_goodput_ratio"] == ratio
+
+
+def test_committed_bench_meets_full_batching_gate():
+    """The committed full-suite numbers must clear the full (2x)
+    goodput floor — regenerate BENCH_perf.json if this trips."""
+    payload = json.loads((REPO_ROOT / "BENCH_perf.json").read_text())
+    ratio = payload["headline"]["batching_goodput_ratio"]
+    assert ratio >= BATCHING_GATE, (
+        f"committed BENCH_perf.json goodput ratio {ratio:.2f}x is "
+        f"below the {BATCHING_GATE}x floor")
 
 
 def test_render_and_roundtrip(quick_payload):

@@ -51,6 +51,7 @@ from .errors import (
     PartitionError,
     ReproError,
     SynthesisError,
+    UnbatchablePlanError,
 )
 from .compiler import (
     CompiledModel,
@@ -81,7 +82,8 @@ __all__ = [
     "NpuConfig", "BW_S5", "BW_A10", "BW_S10", "BW_CNN_A10",
     "STANDARD_CONFIGS", "ReproError", "IsaError", "ChainError",
     "ExecutionError", "CompileError", "CapacityError", "PartitionError",
-    "SynthesisError", "ConfigError", "CompiledModel", "compile_lstm",
+    "SynthesisError", "ConfigError", "UnbatchablePlanError",
+    "CompiledModel", "compile_lstm",
     "compile_gru", "compile_mlp", "compile_conv", "compile_rnn_shape",
     "compile_lstm_interleaved", "compile_lstm_streamed",
     "compile_stacked_lstm", "compile_text_cnn",

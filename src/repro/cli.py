@@ -11,6 +11,9 @@ Commands:
 * ``disassemble <kind> <hidden>`` — print the generated NPU program;
 * ``serve-faults`` — availability/goodput/latency of replicated
   microservice serving under injected faults;
+* ``serve-batch`` — calibrate a batch service-time curve from the real
+  batched replay path, then sweep goodput at a fixed p99 SLO: batch-1
+  vs SLO-aware dynamic batching (docs/SERVING.md);
 * ``monitor <scenario|all>`` — run a chaos scenario with the fleet
   monitoring plane attached: text/HTML dashboard, SLO burn-rate
   alerts, Prometheus export, and a detection scorecard with optional
@@ -112,6 +115,58 @@ def _cmd_serve_faults(args) -> int:
                              transient_prob=args.transient,
                              replicas=args.replicas, seed=args.seed)
     print(table.render())
+    return 0
+
+
+def _cmd_serve_batch(args) -> int:
+    import json
+
+    from .compiler.lowering import compile_gru, compile_lstm
+    from .obs import Metrics, render_prometheus
+    from .models.gru import GruReference
+    from .models.lstm import LstmReference
+    from .system.batching import (calibrate_batch_curve,
+                                  render_slo_sweep, slo_sweep)
+    config = _resolve_config(args.config)
+    if args.kind == "lstm":
+        model = compile_lstm(LstmReference(hidden_dim=args.hidden,
+                                           seed=7), config)
+    else:
+        model = compile_gru(GruReference(hidden_dim=args.hidden,
+                                         seed=7), config)
+    if args.quick:
+        batches, steps, repeats = (1, 4, 8, 16), 4, 2
+        requests, fracs = 600, (0.8, 2.0, 3.0)
+    else:
+        batches, steps, repeats = (1, 2, 4, 8, 16), 8, 3
+        requests, fracs = 2000, (0.5, 1.0, 1.8, 2.5, 3.2, 4.0)
+    curve = calibrate_batch_curve(model, batches=batches, steps=steps,
+                                  repeats=repeats)
+    t1 = curve(1)
+    metrics = Metrics()
+    payload = slo_sweep(curve, slo_s=args.slo_multiple * t1,
+                        rates_rps=[f / t1 for f in fracs],
+                        requests=requests, max_batch=args.max_batch,
+                        seed=args.seed, metrics=metrics)
+    payload["workload"] = {"kind": args.kind, "hidden": args.hidden,
+                           "config": config.name}
+    print(f"{args.kind} h={args.hidden} on {config.name}: measured "
+          f"batch-1 service {t1 * 1e3:.3f} ms")
+    print(render_slo_sweep(payload))
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    if args.prom:
+        with open(args.prom, "w") as fh:
+            fh.write(render_prometheus(metrics=metrics))
+        print(f"wrote {args.prom}")
+    if args.min_goodput_ratio is not None \
+            and payload["goodput_ratio"] < args.min_goodput_ratio:
+        print(f"FAIL: goodput ratio {payload['goodput_ratio']:.2f}x "
+              f"below the {args.min_goodput_ratio}x floor",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -467,6 +522,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replicas", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_serve_faults)
+
+    p = sub.add_parser(
+        "serve-batch",
+        help="calibrate a batch service-time curve and sweep goodput "
+             "at a fixed p99 SLO: batch-1 vs dynamic batching")
+    p.add_argument("kind", nargs="?", default="lstm",
+                   choices=["lstm", "gru"])
+    p.add_argument("--hidden", type=int, default=256)
+    p.add_argument("--config", default="BW_S10",
+                   choices=sorted(STANDARD_CONFIGS))
+    p.add_argument("--quick", action="store_true",
+                   help="smaller calibration + sweep (CI smoke)")
+    p.add_argument("--slo-multiple", type=float, default=8.0,
+                   help="p99 SLO as a multiple of batch-1 service time")
+    p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--min-goodput-ratio", type=float, default=None,
+                   metavar="X",
+                   help="exit 1 if dynamic/batch-1 goodput falls below")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="write the sweep payload as JSON")
+    p.add_argument("--prom", default=None, metavar="PATH",
+                   help="write a Prometheus text exposition")
+    p.set_defaults(func=_cmd_serve_batch)
 
     p = sub.add_parser(
         "chaos",

@@ -120,7 +120,8 @@ class CompiledModel:
         return self._collect_outputs(sim, 1)[0]
 
     def run_sequence_batched(self, xs_batch: List[List[np.ndarray]],
-                             sim: Optional[FunctionalSimulator] = None
+                             sim: Optional[FunctionalSimulator] = None,
+                             exact: bool = False
                              ) -> List[List[np.ndarray]]:
         """Run B independent input sequences through one batched replay.
 
@@ -129,7 +130,9 @@ class CompiledModel:
         each bit-identical to a sequential
         ``run_sequence(xs_batch[b], compiled=True)`` on a fresh
         simulator — the batched-execution contract asserted by the
-        four-way differential fuzzer and the perf benchmarks.
+        four-way differential fuzzer and the perf benchmarks. ``exact``
+        selects the wide-mantissa simulator when ``sim`` is omitted
+        (mirrors :meth:`run_sequence`).
         """
         if not self.is_recurrent:
             raise CompileError(f"{self.name} is not a recurrent model")
@@ -141,7 +144,7 @@ class CompiledModel:
             raise CompileError(
                 f"{self.name}: batched sequences must share one length")
         if sim is None:
-            sim = self.new_simulator()
+            sim = self.new_simulator(exact=exact)
         replay = BatchedReplay(sim, self.program, batch,
                                bindings={self.steps_binding: steps})
         n = self.config.native_dim

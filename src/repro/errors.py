@@ -82,3 +82,19 @@ class AllReplicasDownError(ReproError):
 
 class ConfigError(ReproError):
     """An NPU configuration is internally inconsistent."""
+
+
+class UnbatchablePlanError(ConfigError):
+    """A compiled replay plan cannot be executed by the batched replayer.
+
+    Raised when a plan contains interpreted fallback steps stemming from
+    a statically invalid event (everything from the first
+    definitely-raising event onward is interpreted, so per-request
+    batched execution cannot preserve the interpreter's error
+    semantics). ``step_kinds`` names the offending fallback step kinds,
+    e.g. ``("s_wr:Rows",)`` or ``("v_rd>mv_mul>v_wr",)``.
+    """
+
+    def __init__(self, message: str, step_kinds: tuple = ()):
+        super().__init__(message)
+        self.step_kinds = tuple(step_kinds)

@@ -306,7 +306,8 @@ class FunctionalSimulator:
         return self.stats
 
     def plan_for(self, program: NpuProgram,
-                 bindings: Optional[Dict[str, int]] = None):
+                 bindings: Optional[Dict[str, int]] = None,
+                 force_fallback=None):
         """Compiled replay plan for ``program``, cached on this simulator.
 
         The cache key covers everything compilation depends on: the
@@ -314,14 +315,21 @@ class FunctionalSimulator:
         registers (compile-time control folding). Plans survive MRF
         rewrites — pre-bound weight decompositions revalidate against the
         MRF generation counter on every execution.
+
+        ``force_fallback`` (see :func:`repro.functional.replay.compile_plan`)
+        compiles fresh and bypasses the cache — forced-fallback plans
+        are a verification tool, not a steady-state serving path.
         """
+        from .replay import compile_plan
+        if force_fallback is not None:
+            return compile_plan(self, program, bindings,
+                                force_fallback=force_fallback)
         key = (program.uid, tuple(sorted((bindings or {}).items())),
                self.scalar_regs[ScalarReg.Rows],
                self.scalar_regs[ScalarReg.Columns],
                self.scalar_regs[ScalarReg.Iterations])
         plan = self._plans.get(key)
         if plan is None:
-            from .replay import compile_plan
             plan = compile_plan(self, program, bindings)
             self._plans[key] = plan
             while len(self._plans) > _PLAN_CACHE_SLOTS:

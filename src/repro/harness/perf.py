@@ -42,6 +42,11 @@ HEADLINE = ("lstm", 1024, "BW_S10")
 COMPILED_GATE, COMPILED_GATE_QUICK = 1.3, 1.0
 BATCH16_GATE, BATCH16_GATE_QUICK = 4.0, 2.0
 
+#: Acceptance floor on the headline serving benchmark: peak goodput of
+#: SLO-aware dynamic batching over the batch-1 server at the same SLO,
+#: both backed by the same measured batch service-time curve.
+BATCHING_GATE, BATCHING_GATE_QUICK = 2.0, 1.3
+
 
 @dataclasses.dataclass
 class BenchResult:
@@ -243,6 +248,43 @@ def bench_batch_sweep(kind: str, hidden: int, config: NpuConfig,
     return results
 
 
+def bench_batching_goodput(kind: str, hidden: int, config: NpuConfig,
+                           quick: bool = False) -> BenchResult:
+    """Goodput at a fixed SLO: dynamic batching vs. the batch-1 server.
+
+    Calibrates a :class:`~repro.system.batching.ServiceTimeCurve` from
+    batched-replay wall clock (interleaved best-of timing, monotone
+    clamp), then runs the :func:`~repro.system.batching.slo_sweep`
+    discrete-event comparison on that measured curve: identical Poisson
+    arrival traces through a batch-1 server and an SLO-aware
+    :class:`~repro.system.batching.DynamicBatcher`, SLO fixed at 8x
+    the measured batch-1 service time, arrival rates swept as
+    multiples of batch-1 capacity.  The row's unit is one request at
+    peak goodput (``unit_ms = 1000 / peak dynamic goodput``), the
+    baseline is the batch-1 server's peak, so ``speedup`` is the
+    goodput ratio the serving gate floors.
+    """
+    from ..system.batching import calibrate_batch_curve, slo_sweep
+    model = _compile_rnn(kind, hidden, config)
+    if quick:
+        batches, steps, repeats = (1, 4, 8, 16), 4, 2
+        requests, fracs = 600, (0.8, 2.0, 3.0)
+    else:
+        batches, steps, repeats = (1, 2, 4, 8, 16), 8, 3
+        requests, fracs = 2000, (0.5, 1.0, 1.8, 2.5, 3.2, 4.0)
+    curve = calibrate_batch_curve(model, batches=batches, steps=steps,
+                                  repeats=repeats)
+    t1 = curve(1)
+    payload = slo_sweep(curve, slo_s=8.0 * t1,
+                        rates_rps=[f / t1 for f in fracs],
+                        requests=requests, max_batch=16)
+    return BenchResult(
+        name=f"batching_goodput_{kind}_h{hidden}", config=config.name,
+        unit_ms=1e3 / payload["peak_goodput_dynamic_rps"],
+        units=requests * len(fracs), repeats=repeats,
+        naive_unit_ms=1e3 / payload["peak_goodput_batch1_rps"])
+
+
 def bench_timing_sim(kind: str, hidden: int, config: NpuConfig,
                      steps: int = 64, repeats: int = 3) -> BenchResult:
     """Time the cycle-level scheduler over an RNN program."""
@@ -308,6 +350,8 @@ def run_suite(quick: bool = False) -> Dict:
     results += bench_batch_sweep(HEADLINE[0], HEADLINE[1], BW_S10,
                                  batches=batches, steps=steps,
                                  repeats=max(repeats, 3))
+    results.append(bench_batching_goodput(HEADLINE[0], HEADLINE[1],
+                                          BW_S10, quick=quick))
     results += [bench_timing_sim(kind, hidden, cfg,
                                  steps=timing_steps, repeats=repeats)
                 for kind, hidden, cfg in timing]
@@ -320,7 +364,9 @@ def run_suite(quick: bool = False) -> Dict:
                      "config": HEADLINE[2],
                      "speedup": headline_speedup(results),
                      "compiled_speedup": compiled_headline_speedup(results),
-                     "batch16_speedup": batch16_headline_speedup(results)},
+                     "batch16_speedup": batch16_headline_speedup(results),
+                     "batching_goodput_ratio":
+                         batching_goodput_ratio(results)},
         "results": [r.to_json() for r in results],
     }
 
@@ -352,6 +398,13 @@ def batch16_headline_speedup(results: List[BenchResult]
     return _headline_row(results, "batched_{kind}_h{hidden}_b16")
 
 
+def batching_goodput_ratio(results: List[BenchResult]
+                           ) -> Optional[float]:
+    """Peak-goodput multiplier of SLO-aware dynamic batching over the
+    batch-1 server on the headline workload."""
+    return _headline_row(results, "batching_goodput_{kind}_h{hidden}")
+
+
 def headline_gates(results: List[BenchResult], quick: bool
                    ) -> List[tuple]:
     """The perf acceptance gates as ``(label, speedup, floor)`` rows.
@@ -367,6 +420,9 @@ def headline_gates(results: List[BenchResult], quick: bool
         ("batch=16 aggregate over vectorized",
          batch16_headline_speedup(results),
          BATCH16_GATE_QUICK if quick else BATCH16_GATE),
+        ("dynamic-batching goodput over batch-1 at equal SLO",
+         batching_goodput_ratio(results),
+         BATCHING_GATE_QUICK if quick else BATCHING_GATE),
     ]
 
 

@@ -3,11 +3,24 @@ and the cluster/chaos simulation layer."""
 
 from .network import Locality, NetworkFabric, NetworkModel
 from .microservice import (
+    BatchedInvocationResult,
     FpgaNode,
     HardwareMicroservice,
     InvocationResult,
     MicroserviceRegistry,
     ServiceError,
+)
+from .batching import (
+    AdaptiveBatchPolicy,
+    BatchPolicy,
+    BatchServeResult,
+    BatchingError,
+    DynamicBatcher,
+    ServiceTimeCurve,
+    calibrate_batch_curve,
+    record_batch_series,
+    render_slo_sweep,
+    slo_sweep,
 )
 from .faults import (
     FaultInjector,
@@ -34,12 +47,14 @@ from .loadgen import (
     uniform_arrivals,
 )
 from .cluster import (
+    AutoscalePolicy,
     BrownoutPolicy,
     ClusterError,
     ClusterEvent,
     ClusterResult,
     ClusterSimulator,
     ClusterSpec,
+    NodeBatching,
     PhiAccrualDetector,
     TokenBucket,
 )
@@ -70,8 +85,14 @@ from .runtime import (
 
 __all__ = [
     "Locality", "NetworkFabric", "NetworkModel", "FpgaNode",
-    "HardwareMicroservice", "InvocationResult", "MicroserviceRegistry",
+    "HardwareMicroservice", "InvocationResult",
+    "BatchedInvocationResult", "MicroserviceRegistry",
     "ServiceError",
+    "AdaptiveBatchPolicy", "BatchPolicy", "BatchServeResult",
+    "BatchingError", "DynamicBatcher", "ServiceTimeCurve",
+    "calibrate_batch_curve", "record_batch_series",
+    "render_slo_sweep", "slo_sweep",
+    "AutoscalePolicy", "NodeBatching",
     "FaultInjector", "FaultProfile", "FaultSample", "InvocationOutcome",
     "ResilientClient", "RetryPolicy",
     "BidirectionalRnnService", "CpuStage", "FederatedRuntime",

@@ -36,6 +36,7 @@ from __future__ import annotations
 import dataclasses
 import heapq
 import math
+from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -43,6 +44,7 @@ import numpy as np
 from ..errors import ReproError
 from ..obs import Metrics, Tracer, or_null, or_null_metrics, \
     percentile_or_nan
+from .batching import OCCUPANCY_BOUNDS, QUEUE_WAIT_BOUNDS
 from .network import NetworkFabric, NetworkModel
 from .runtime import DEFAULT_CPU_FALLBACK_LATENCY_S
 
@@ -165,6 +167,81 @@ class BrownoutPolicy:
             raise ClusterError("brownout cpu_latency_s must be positive")
         if self.max_concurrent < 1:
             raise ClusterError("brownout max_concurrent must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeBatching:
+    """Per-node dynamic batching backed by a measured service-time
+    curve.
+
+    ``curve`` maps a dispatch size to its aggregate service time in
+    seconds — a :class:`~repro.system.batching.ServiceTimeCurve` from
+    :func:`~repro.system.batching.calibrate_batch_curve` (scaled to
+    the node's batch-1 service time via
+    :meth:`~repro.system.batching.ServiceTimeCurve.scaled`), replacing
+    both ``ClusterSpec.service_time_s`` and the hand-written
+    ``batch_service_time`` functions of
+    :class:`~repro.system.loadgen.BatchingServer`.  Each node queues
+    requests and dispatches ``min(queued, max_batch)`` when the batch
+    fills or the oldest request has waited ``timeout_s``.
+    """
+
+    curve: object
+    max_batch: int = 16
+    timeout_s: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if not callable(self.curve):
+            raise ClusterError(
+                "batching curve must be callable (batch -> seconds), "
+                f"got {type(self.curve).__name__}")
+        if self.max_batch < 1:
+            raise ClusterError(
+                f"batching max_batch must be >= 1, got {self.max_batch}")
+        if self.timeout_s < 0:
+            raise ClusterError(
+                f"batching timeout_s must be >= 0, got {self.timeout_s}")
+        t1 = float(self.curve(1))
+        if not t1 > 0:
+            raise ClusterError(
+                f"batching curve(1) must be positive, got {t1:g}")
+
+
+@dataclasses.dataclass(frozen=True)
+class AutoscalePolicy:
+    """Replica autoscaling from observed arrival rate.
+
+    Every ``interval_s`` of simulated time the controller measures the
+    arrival rate over the last interval and resizes the active node
+    set to ``ceil(rate / (target_utilization * per_node_capacity))``,
+    clamped to ``[min_nodes, max_nodes]``, where per-node capacity is
+    the batched throughput ceiling ``max_batch / curve(max_batch)``.
+    Nodes activate lowest-index first; a deactivated node drains its
+    queue but receives no new traffic.  Deterministic — the decision
+    is a pure function of the arrival trace.
+    """
+
+    min_nodes: int = 1
+    max_nodes: Optional[int] = None
+    target_utilization: float = 0.6
+    interval_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.min_nodes < 1:
+            raise ClusterError(
+                f"autoscale min_nodes must be >= 1, got {self.min_nodes}")
+        if self.max_nodes is not None and self.max_nodes < self.min_nodes:
+            raise ClusterError(
+                f"autoscale max_nodes ({self.max_nodes}) < min_nodes "
+                f"({self.min_nodes})")
+        if not 0.0 < self.target_utilization <= 1.0:
+            raise ClusterError(
+                f"target_utilization must be in (0, 1], got "
+                f"{self.target_utilization}")
+        if self.interval_s <= 0:
+            raise ClusterError(
+                f"autoscale interval_s must be positive, got "
+                f"{self.interval_s}")
 
 
 class PhiAccrualDetector:
@@ -303,10 +380,21 @@ class ClusterResult:
     #: Applied control events, including detector evict/readmit edges.
     event_log: List[Tuple[float, str, int]]
     detector_transitions: List[Tuple[float, str, int]]
+    #: Batched runs only: ``(finish_time_s, batch_size)`` per dispatch.
+    batch_log: Optional[List[Tuple[float, int]]] = None
+    #: Autoscaled runs only: ``(time_s, active_nodes)`` per resize.
+    active_nodes_trace: Optional[List[Tuple[float, int]]] = None
 
     @property
     def total(self) -> int:
         return int(self.status.size)
+
+    @property
+    def mean_batch(self) -> float:
+        """Mean dispatch size of a batched run; ``nan`` otherwise."""
+        if not self.batch_log:
+            return float("nan")
+        return float(np.mean([b for _, b in self.batch_log]))
 
     @property
     def empty(self) -> bool:
@@ -410,6 +498,14 @@ class ClusterResult:
             f"p99 {self.p99_ms:.2f}  p99.9 {self.p999_ms:.2f}",
             f"  detector: {len(self.detector_transitions)} transitions",
         ]
+        if self.batch_log:
+            lines.append(
+                f"  batching: {len(self.batch_log)} dispatches, "
+                f"mean batch {self.mean_batch:.2f}")
+        if self.active_nodes_trace:
+            lines.append(
+                f"  autoscaler: {len(self.active_nodes_trace)} resizes,"
+                f" final {self.active_nodes_trace[-1][1]} active nodes")
         return "\n".join(lines)
 
 
@@ -444,7 +540,9 @@ class ClusterSimulator:
                  seed: int = 0,
                  tracer: Optional[Tracer] = None,
                  metrics: Optional[Metrics] = None,
-                 monitor=None):
+                 monitor=None,
+                 batching: Optional[NodeBatching] = None,
+                 autoscaler: Optional[AutoscalePolicy] = None):
         """``detector_threshold=None`` disables failure detection (the
         router keeps sending to dead nodes); ``admission=None`` and
         ``brownout=None`` disable those mitigations; ``retries`` is the
@@ -455,12 +553,30 @@ class ClusterSimulator:
         scrape instants as ``_scrape`` control events and hands it the
         per-request node attribution after the run.  Monitoring is
         observation-only — it never touches the RNG stream, the event
-        log, or any outcome."""
+        log, or any outcome.
+
+        ``batching`` (a :class:`NodeBatching`) switches :meth:`run` to
+        the batched-node data plane: every node runs a batching queue
+        whose dispatch service time comes from the measured curve.
+        ``autoscaler`` (requires ``batching``) resizes the active node
+        set from observed arrival rate.  The batched path models
+        bounded queues and deadline shedding but not admission
+        control, brownout, or the telemetry monitor — those
+        combinations raise rather than silently ignoring a policy."""
         if router not in _ROUTERS:
             raise ClusterError(
                 f"unknown router {router!r}; one of {_ROUTERS}")
         if retries < 0:
             raise ClusterError("retries must be >= 0")
+        if autoscaler is not None and batching is None:
+            raise ClusterError("autoscaler requires batching")
+        if batching is not None and (admission is not None
+                                     or brownout is not None
+                                     or monitor is not None):
+            raise ClusterError(
+                "batched clusters do not support admission control, "
+                "brownout, or a monitor; configure those on the "
+                "unbatched data plane")
         self.spec = spec if spec is not None else ClusterSpec()
         self.router = router
         self.admission = admission
@@ -471,6 +587,8 @@ class ClusterSimulator:
         self.tracer = or_null(tracer)
         self.metrics = or_null_metrics(metrics)
         self.monitor = monitor
+        self.batching = batching
+        self.autoscaler = autoscaler
         self.detector = (PhiAccrualDetector(
             self.spec, detector_threshold, tracer=self.tracer,
             metrics=self.metrics)
@@ -577,7 +695,15 @@ class ClusterSimulator:
 
     def run(self, arrivals: Sequence[float],
             events: Sequence[ClusterEvent] = ()) -> ClusterResult:
-        """Drive ``arrivals`` (sorted seconds) through the cluster."""
+        """Drive ``arrivals`` (sorted seconds) through the cluster.
+
+        With a :class:`NodeBatching` configured this delegates to the
+        batched data plane (:meth:`_run_batched`); the unbatched hot
+        loop below is untouched by that path and stays bit-identical
+        to its pre-batching behavior.
+        """
+        if self.batching is not None:
+            return self._run_batched(arrivals, events)
         spec = self.spec
         arrivals = np.ascontiguousarray(arrivals, dtype=np.float64)
         if arrivals.size and np.any(np.diff(arrivals) < 0):
@@ -766,3 +892,286 @@ class ClusterSimulator:
         if monitor is not None:
             monitor.finish(result, node_of)
         return result
+
+    # -- the batched data plane -------------------------------------------
+
+    def _run_batched(self, arrivals: Sequence[float],
+                     events: Sequence[ClusterEvent] = ()
+                     ) -> ClusterResult:
+        """Batched-node discrete-event run (see :class:`NodeBatching`).
+
+        Each node owns a FIFO batching queue: a dispatch of
+        ``min(queued, max_batch)`` requests starts when the node is
+        free and either the batch is full or the oldest queued request
+        has waited ``timeout_s``; its service time is the measured
+        curve at the dispatch size (times any slow-node multiplier).
+        Requests queued or in flight on a node that crashes or is
+        partitioned away are ``FAILED`` — batching widens the blast
+        radius of a node loss, and the model is honest about it.
+        Routing, the failure detector, and control events share the
+        unbatched path's machinery; per-request routing randomness is
+        pre-vectorized exactly the same way, so runs are
+        bit-deterministic per seed.
+        """
+        spec = self.spec
+        bcfg = self.batching
+        autoscaler = self.autoscaler
+        arrivals = np.ascontiguousarray(arrivals, dtype=np.float64)
+        if arrivals.size and np.any(np.diff(arrivals) < 0):
+            raise ClusterError("arrivals must be sorted")
+        n = int(arrivals.size)
+        num_nodes = spec.num_nodes
+
+        rng = np.random.default_rng(self.seed)
+        route_u = rng.random((2, max(n, 1)))
+        choice1 = route_u[0]
+        choice2 = route_u[1]
+
+        self._up = [True] * num_nodes
+        self._slow = [1.0] * num_nodes
+        self._free_at = [0.0] * num_nodes
+        self._cut_racks = set()
+        self._event_log = []
+        self.fabric.heal_all()
+        self._rebuild_view()
+
+        max_batch = bcfg.max_batch
+        timeout_s = bcfg.timeout_s
+        # The curve is evaluated once per dispatch size, not per
+        # dispatch — measured curves interpolate, and a million
+        # dispatches should not pay that repeatedly.
+        svc = [0.0] + [float(bcfg.curve(b))
+                       for b in range(1, max_batch + 1)]
+        per_req_s = svc[max_batch] / max_batch
+        queue_cap = spec.queue_depth * max_batch
+        deadline_s = spec.deadline_s
+        net_s = 2e-6 * spec.network.transfer_us(spec.payload_bytes)
+        shed_on_deadline = self.shed_on_deadline
+        retries = self.retries
+        free_at = self._free_at
+        slow = self._slow
+        up = self._up
+        cut_racks = self._cut_racks
+        rack_span = spec.nodes_per_rack
+        least_loaded = self.router == "least_loaded"
+        random_router = self.router == "random"
+
+        queues: List[deque] = [deque() for _ in range(num_nodes)]
+        inflight: List[Optional[Tuple[float, List[Tuple[float, int]]]]] \
+            = [None] * num_nodes
+        epoch = [0] * num_nodes
+        flush_at = [math.inf] * num_nodes
+        status = np.full(n, FAILED, dtype=np.uint8)
+        latency = np.full(n, np.nan, dtype=np.float64)
+        batch_log: List[Tuple[float, int]] = []
+        active_trace: List[Tuple[float, int]] = []
+
+        m = self.metrics
+        occupancy = m.histogram("cluster.batch_occupancy",
+                                bounds=OCCUPANCY_BOUNDS)
+        queue_wait = m.histogram("cluster.queue_wait_s",
+                                 bounds=QUEUE_WAIT_BOUNDS)
+
+        seq = iter(range(1 << 62))
+        heap: List[Tuple[float, int, str, int, float]] = []
+        for ev in events:
+            heapq.heappush(heap, (ev.time_s, next(seq), ev.action,
+                                  ev.target, ev.value))
+
+        active_count = num_nodes
+        if autoscaler is not None:
+            active_count = autoscaler.min_nodes
+            active_trace.append((0.0, active_count))
+            heapq.heappush(heap, (autoscaler.interval_s, next(seq),
+                                  "_ascale", 0, 0.0))
+        eligible = list(self._view)
+        eligible_dirty = autoscaler is not None
+
+        def fail_node(node: int, when: float) -> None:
+            """A node died or became unreachable: its queued and
+            in-flight requests are lost."""
+            flight = inflight[node]
+            if flight is not None:
+                inflight[node] = None
+                for _, idx in flight[1]:
+                    status[idx] = FAILED
+                    latency[idx] = np.nan
+            for _, idx in queues[node]:
+                status[idx] = FAILED
+            queues[node].clear()
+            epoch[node] += 1
+            flush_at[node] = math.inf
+
+        def dispatch(node: int, now: float) -> None:
+            q = queues[node]
+            b = min(len(q), max_batch)
+            batch = [q.popleft() for _ in range(b)]
+            finish = now + svc[b] * slow[node]
+            free_at[node] = finish
+            inflight[node] = (finish, batch)
+            flush_at[node] = math.inf
+            heapq.heappush(heap, (finish, next(seq), "_bdone", node,
+                                  float(epoch[node])))
+            batch_log.append((finish, b))
+            occupancy.observe(float(b))
+            for arr, _ in batch:
+                queue_wait.observe(now - arr)
+
+        def maybe_dispatch(node: int, now: float) -> None:
+            if inflight[node] is not None:
+                return
+            q = queues[node]
+            if not q:
+                return
+            due = q[0][0] + timeout_s
+            if len(q) >= max_batch or now >= due:
+                dispatch(node, now)
+                return
+            if due < flush_at[node]:
+                flush_at[node] = due
+                heapq.heappush(heap, (due, next(seq), "_bflush",
+                                      node, 0.0))
+
+        def handle(when: float, action: str, target: int,
+                   value: float) -> None:
+            nonlocal eligible_dirty, active_count
+            if action == "_bdone":
+                node = target
+                flight = inflight[node]
+                if int(value) != epoch[node] or flight is None:
+                    return
+                finish, batch = flight
+                inflight[node] = None
+                for arr, idx in batch:
+                    lat = finish - arr + net_s
+                    latency[idx] = lat
+                    status[idx] = SERVED if lat <= deadline_s \
+                        else TIMEOUT
+                maybe_dispatch(node, when)
+                return
+            if action == "_bflush":
+                maybe_dispatch(target, when)
+                return
+            if action == "_ascale":
+                lo = np.searchsorted(arrivals,
+                                     when - autoscaler.interval_s,
+                                     side="right")
+                hi = np.searchsorted(arrivals, when, side="right")
+                rate = (hi - lo) / autoscaler.interval_s
+                cap = max_batch / svc[max_batch]
+                desired = math.ceil(
+                    rate / (autoscaler.target_utilization * cap))
+                ceiling = (autoscaler.max_nodes
+                           if autoscaler.max_nodes is not None
+                           else num_nodes)
+                desired = min(max(desired, autoscaler.min_nodes),
+                              ceiling)
+                if desired != active_count:
+                    active_count = desired
+                    active_trace.append((when, desired))
+                    eligible_dirty = True
+                    self.tracer.instant("cluster:autoscale", when,
+                                        track="cluster",
+                                        target=desired)
+                if n and when <= float(arrivals[-1]):
+                    heapq.heappush(
+                        heap, (when + autoscaler.interval_s,
+                               next(seq), "_ascale", 0, 0.0))
+                return
+            self._apply(when, action, target, value, heap, seq)
+            eligible_dirty = True
+            if action in ("crash", "rack_down", "partition"):
+                affected = ([target] if action == "crash"
+                            else spec.nodes_in_rack(target))
+                for node in affected:
+                    if not up[node] or node // rack_span in cut_racks:
+                        fail_node(node, when)
+
+        def load(node: int, now: float) -> float:
+            """Backlog estimate for routing: residual busy time plus
+            amortized queue drain time."""
+            busy = free_at[node] - now
+            if busy < 0.0:
+                busy = 0.0
+            return busy + len(queues[node]) * per_req_s
+
+        for i in range(n):
+            t = float(arrivals[i])
+            while heap and heap[0][0] <= t:
+                when, _, action, target, value = heapq.heappop(heap)
+                handle(when, action, target, value)
+            if eligible_dirty:
+                view = self._view
+                eligible = (view if autoscaler is None else
+                            [v for v in view if v < active_count])
+                eligible_dirty = False
+
+            nh = len(eligible)
+            node = -1
+            if nh:
+                if random_router:
+                    node = eligible[int(choice1[i] * nh)]
+                elif least_loaded:
+                    backlog = [load(j, t) for j in eligible]
+                    node = eligible[min(range(nh),
+                                        key=backlog.__getitem__)]
+                else:  # p2c
+                    a = eligible[int(choice1[i] * nh)]
+                    b = eligible[int(choice2[i] * nh)]
+                    node = a if load(a, t) <= load(b, t) else b
+                if not up[node] or node // rack_span in cut_racks:
+                    node = -1 if retries < 1 else \
+                        eligible[int(choice2[i] * nh)]
+                    if node >= 0 and (not up[node]
+                                      or node // rack_span in cut_racks):
+                        node = -1
+
+            if node < 0:
+                status[i] = FAILED
+                continue
+
+            q = queues[node]
+            qlen = len(q)
+            if qlen >= queue_cap:
+                status[i] = SHED_DEADLINE
+                continue
+            if shed_on_deadline:
+                # Optimistic finish bound: residual busy time, the
+                # full batches already ahead, then this request's own
+                # dispatch — no timeout waits included, so a request
+                # is only shed when even the best case misses the SLO.
+                busy = free_at[node] - t
+                if busy < 0.0:
+                    busy = 0.0
+                own = svc[min(qlen + 1, max_batch)] * slow[node]
+                predicted = busy + (qlen // max_batch) \
+                    * svc[max_batch] * slow[node] + own + net_s
+                if predicted > deadline_s:
+                    status[i] = SHED_DEADLINE
+                    continue
+            q.append((t, i))
+            maybe_dispatch(node, t)
+
+        # Drain everything past the last arrival: pending timeouts
+        # dispatch, in-flight batches commit, control events land.
+        while heap:
+            when, _, action, target, value = heapq.heappop(heap)
+            handle(when, action, target, value)
+
+        for code, name in STATUS_NAMES.items():
+            count = int(np.count_nonzero(status == code))
+            if count:
+                m.counter(f"cluster.requests.{name}").inc(count)
+        finite = np.isfinite(latency)
+        if finite.any():
+            m.counter("cluster.deadline_violations").inc(
+                int(np.count_nonzero(latency[finite] > deadline_s)))
+
+        return ClusterResult(
+            spec=spec, arrivals=arrivals, status=status,
+            latency_s=latency, event_log=list(self._event_log),
+            detector_transitions=list(
+                self.detector.transitions if self.detector else []),
+            batch_log=batch_log,
+            active_nodes_trace=active_trace if autoscaler is not None
+            else None)

@@ -248,6 +248,19 @@ class BatchingServer:
         self.max_batch = max_batch
         self.timeout_s = timeout_s
 
+    @classmethod
+    def from_curve(cls, curve, max_batch: int,
+                   timeout_s: float) -> "BatchingServer":
+        """A batching server backed by a **measured**
+        :class:`~repro.system.batching.ServiceTimeCurve` instead of a
+        hand-written service-time function, so SLO comparisons run
+        against the service times batched replay actually achieves."""
+        if not callable(curve):
+            raise LoadError(
+                f"curve must be callable (batch -> seconds), got "
+                f"{type(curve).__name__}")
+        return cls(curve, max_batch, timeout_s)
+
     def capacity_rps(self) -> float:
         """Throughput ceiling at full batches."""
         return self.max_batch / self.batch_service_time(self.max_batch)

@@ -49,6 +49,7 @@ class FpgaNode:
         self.ip_address = f"10.0.{n // 256}.{n % 256}"
         self._timing = TimingSimulator(self.compiled.config)
         self._latency_cache: Dict[int, float] = {}
+        self._batch_relative = None
 
     def compute_latency_s(self, steps: int) -> float:
         """NPU compute latency for a ``steps``-step invocation.
@@ -65,10 +66,61 @@ class FpgaNode:
             self._latency_cache[steps] = report.latency_s
         return self._latency_cache[steps]
 
+    def set_batch_curve(self, relative) -> None:
+        """Install a relative batch service-time curve ``r(b)``.
+
+        ``relative`` maps a batch size to the aggregate service-time
+        multiple of a batch-1 invocation (``r(1) == 1``); pass the
+        :meth:`~repro.system.batching.ServiceTimeCurve.relative` of a
+        measured curve from
+        :func:`~repro.system.batching.calibrate_batch_curve`, or
+        ``None`` to revert to the uncalibrated serial model.
+        """
+        if relative is not None:
+            r1 = float(relative(1))
+            if not math.isclose(r1, 1.0, rel_tol=1e-6):
+                raise ServiceError(
+                    f"{self.name}: batch curve must be relative "
+                    f"(r(1) == 1), got r(1) = {r1:g}")
+        self._batch_relative = relative
+
+    @property
+    def batch_calibrated(self) -> bool:
+        """A measured batch curve is installed (see
+        :meth:`set_batch_curve`)."""
+        return self._batch_relative is not None
+
+    def batch_compute_latency_s(self, steps: int, batch: int) -> float:
+        """Compute latency of one batched invocation of ``batch``
+        requests of ``steps`` timesteps each.
+
+        Uncalibrated nodes process requests serially (``batch`` times
+        the batch-1 latency — a batch-1 NPU gains nothing from
+        coalescing); calibrated nodes scale by the measured relative
+        curve, which is sublinear when batched replay amortizes
+        per-step overheads across requests.
+        """
+        if batch < 1:
+            raise ServiceError(f"{self.name}: batch must be >= 1, "
+                               f"got {batch}")
+        base = self.compute_latency_s(steps)
+        if self._batch_relative is None:
+            return base * batch
+        return base * float(self._batch_relative(batch))
+
     def run_functional(self, xs: List[np.ndarray],
                        exact: bool = True) -> List[np.ndarray]:
         """Architecturally exact evaluation (small models/tests)."""
         return self.compiled.run_sequence(xs, exact=exact)
+
+    def run_functional_batched(self, xs_batch: List[List[np.ndarray]],
+                               exact: bool = True
+                               ) -> List[List[np.ndarray]]:
+        """Architecturally exact batched evaluation: one
+        :class:`~repro.functional.replay.BatchedReplay` execution whose
+        per-request outputs are bit-identical to per-request
+        :meth:`run_functional` calls."""
+        return self.compiled.run_sequence_batched(xs_batch, exact=exact)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -87,6 +139,37 @@ class InvocationResult:
     @property
     def total_ms(self) -> float:
         return self.total_s * 1e3
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchedInvocationResult:
+    """Latency breakdown of one *batched* microservice invocation.
+
+    One dispatch serves ``batch`` coalesced requests; every request in
+    the batch finishes together at ``total_s``.  ``outputs[b]`` (when
+    functional inputs were given) is request ``b``'s output list,
+    bit-identical to a sequential :meth:`HardwareMicroservice.invoke`
+    of that request alone.
+    """
+
+    batch: int
+    network_in_s: float
+    compute_s: float
+    network_out_s: float
+    outputs: Optional[List[List[np.ndarray]]] = None
+
+    @property
+    def total_s(self) -> float:
+        return self.network_in_s + self.compute_s + self.network_out_s
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_s * 1e3
+
+    @property
+    def per_request_s(self) -> float:
+        """Aggregate service time amortized per request."""
+        return self.total_s / self.batch
 
 
 class HardwareMicroservice:
@@ -158,6 +241,76 @@ class HardwareMicroservice:
             outputs = self.node.run_functional(functional_inputs)
         return InvocationResult(network_in_s=net_in, compute_s=compute,
                                 network_out_s=net_out, outputs=outputs)
+
+    def invoke_batched(self, steps: int, batch: Optional[int] = None,
+                       functional_inputs:
+                       Optional[List[List[np.ndarray]]] = None
+                       ) -> BatchedInvocationResult:
+        """Serve ``batch`` coalesced requests of ``steps`` timesteps in
+        one dispatch.
+
+        The network model mirrors :meth:`invoke` with batch-scaled
+        payloads: each timestep now streams every request's vectors, so
+        the request pays the first (batched) step's serialization on
+        the way in and the last on the way out.  Compute comes from the
+        node's batched latency model
+        (:meth:`FpgaNode.batch_compute_latency_s`) — serial replay
+        until the node is calibrated with a measured curve.  Pass
+        ``functional_inputs`` (one input list per request, lockstep
+        lengths) for real outputs via one
+        :class:`~repro.functional.replay.BatchedReplay` execution; the
+        fault injector is sampled once per dispatch, exactly as a
+        single invocation on the wire.
+        """
+        if functional_inputs is not None:
+            if batch is None:
+                batch = len(functional_inputs)
+            elif batch != len(functional_inputs):
+                raise ServiceError(
+                    f"{self.name}: batch={batch} but "
+                    f"{len(functional_inputs)} functional input lists")
+            for b, xs in enumerate(functional_inputs):
+                if len(xs) != steps:
+                    raise ServiceError(
+                        f"{self.name}: request {b} has {len(xs)} "
+                        f"inputs for {steps} steps")
+        if batch is None or batch < 1:
+            raise ServiceError(
+                f"{self.name}: batched invocation needs batch >= 1 "
+                f"or functional_inputs, got batch={batch}")
+        compute_multiplier = 1.0
+        extra_network_s = 0.0
+        if self.injector is not None:
+            sample = self.injector.sample(self.node.name)
+            if sample.fail_kind is not None:
+                raise FaultError(
+                    f"{self.name}@{self.node.name}: injected "
+                    f"{sample.fail_kind} fault", kind=sample.fail_kind)
+            compute_multiplier = sample.compute_multiplier
+            extra_network_s = sample.extra_network_s
+        compiled = self.node.compiled
+        bytes_per_vec = compiled.config.native_dim * 2  # float16 wire fmt
+        in_bytes = (batch * steps * compiled.input_vectors_per_step
+                    * bytes_per_vec)
+        out_bytes = (batch * steps * compiled.output_vectors_per_step
+                     * bytes_per_vec)
+        first_in = in_bytes / max(steps, 1)
+        last_out = out_bytes / max(steps, 1)
+        net_in = self.network.transfer_us(first_in,
+                                          self.node.locality) * 1e-6
+        net_in += extra_network_s
+        net_out = self.network.transfer_us(last_out,
+                                           self.node.locality) * 1e-6
+        compute = max(self.node.batch_compute_latency_s(steps, batch),
+                      self.network.serialization_us(in_bytes) * 1e-6,
+                      self.network.serialization_us(out_bytes) * 1e-6)
+        compute *= compute_multiplier
+        outputs = None
+        if functional_inputs is not None:
+            outputs = self.node.run_functional_batched(functional_inputs)
+        return BatchedInvocationResult(
+            batch=batch, network_in_s=net_in, compute_s=compute,
+            network_out_s=net_out, outputs=outputs)
 
 
 @dataclasses.dataclass

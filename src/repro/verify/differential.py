@@ -28,7 +28,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from ..errors import ReproError
+from ..errors import ReproError, UnbatchablePlanError
 from ..functional.executor import FunctionalSimulator
 from ..functional.replay import BatchedReplay
 from ..obs.metrics import Metrics
@@ -243,9 +243,14 @@ def check_batched_replay(case: ProgramCase) -> List[str]:
     network-input vectors scaled by :data:`_BATCH_SCALES` (all other
     initial state is shared), runs it, and demands every request's
     :meth:`~BatchedReplay.snapshot` be bit-identical to a sequential
-    ``run(compiled=True)`` of the correspondingly scaled case. Returns
-    an empty list when the plan is not batchable (fallback steps) —
-    sequential execution is the documented contract there.
+    ``run(compiled=True)`` of the correspondingly scaled case. Batchable
+    plans are additionally re-run with a deterministic subset of chain
+    events *forced* into loopable interpreted fallback steps
+    (``force_fallback``) — the widened batchable subset must stay bit
+    identical to the fully compiled path. Unbatchable plans (a broken
+    fallback tail) must be rejected with
+    :class:`~repro.errors.UnbatchablePlanError` naming the offending
+    step kinds.
     """
     batch = len(_BATCH_SCALES)
     empty_netq = case.netq_vectors[:0]
@@ -253,29 +258,68 @@ def check_batched_replay(case: ProgramCase) -> List[str]:
         dataclasses.replace(case, netq_vectors=empty_netq), naive=False)
     plan = base.plan_for(case.program)
     if not plan.batchable:
-        return []
-    replay = BatchedReplay(base, case.program, batch)
+        out: List[str] = []
+        try:
+            BatchedReplay(base, case.program, batch)
+        except UnbatchablePlanError as exc:
+            if not exc.step_kinds:
+                out.append("unbatchable plan raised without step kinds")
+            if tuple(exc.step_kinds) != tuple(plan.fallback_step_kinds):
+                out.append(
+                    f"unbatchable step kinds {exc.step_kinds!r} != plan "
+                    f"diagnostics {plan.fallback_step_kinds!r}")
+        except ReproError as exc:
+            out.append(f"unbatchable plan raised {type(exc).__name__} "
+                       f"instead of UnbatchablePlanError: {exc}")
+        else:
+            out.append("unbatchable plan accepted by BatchedReplay")
+        return out
+
+    out = _check_batched_against_sequential(case, base, None, "batched")
+    # Forced-fallback arm: demote every third chain event to a loopable
+    # interpreted step. Forcing is semantically the identity, so the
+    # same sequential runs remain the ground truth.
+    forced_base = load_simulator(
+        dataclasses.replace(case, netq_vectors=empty_netq), naive=False)
+    out.extend(_check_batched_against_sequential(
+        case, forced_base, lambda pos, event: pos % 3 == 1,
+        "batched+fallback"))
+    return out
+
+
+def _check_batched_against_sequential(case: ProgramCase, base,
+                                      force_fallback,
+                                      tag: str) -> List[str]:
+    """One batched replay (optionally with forced fallback steps) vs
+    per-request sequential compiled runs of the scaled cases."""
+    batch = len(_BATCH_SCALES)
+    out: List[str] = []
+    try:
+        replay = BatchedReplay(base, case.program, batch,
+                               force_fallback=force_fallback)
+    except ReproError as exc:
+        return [f"{tag}: BatchedReplay rejected a batchable plan: "
+                f"{type(exc).__name__}: {exc}"]
     for vec in case.netq_vectors:
         replay.push_input(np.stack([vec * s for s in _BATCH_SCALES]))
     batched_err = _guarded(replay.run)
 
-    out: List[str] = []
     for b, scale in enumerate(_BATCH_SCALES):
         scaled = dataclasses.replace(
             case, netq_vectors=case.netq_vectors * scale)
         sim = load_simulator(scaled, naive=False)
         seq_err = _guarded(lambda: sim.run(case.program, compiled=True))
         if (batched_err is None) != (seq_err is None):
-            out.append(f"batched[{b}]: batched raised {batched_err!r}, "
+            out.append(f"{tag}[{b}]: batched raised {batched_err!r}, "
                        f"sequential raised {seq_err!r}")
             continue
         if batched_err is not None:
             kind = batched_err.split(":", 1)[0]
             if seq_err.split(":", 1)[0] != kind:
-                out.append(f"batched[{b}]: error {batched_err!r} != "
+                out.append(f"{tag}[{b}]: error {batched_err!r} != "
                            f"sequential {seq_err!r}")
             continue
-        _compare_snapshots(f"batched[{b}] vs sequential compiled",
+        _compare_snapshots(f"{tag}[{b}] vs sequential compiled",
                            replay.snapshot(b), sim.snapshot(), out)
     return out
 

@@ -85,12 +85,14 @@ def test_fuzz_pinned_config_and_profile(capsys):
     capsys.readouterr()
 
 
-def _stub_bench_payload(compiled_ms=1.0, batch16_ms=0.5):
+def _stub_bench_payload(compiled_ms=1.0, batch16_ms=0.5,
+                        goodput_ms=0.4):
     """A minimal but schema-true perf payload, so the bench CLI can be
     smoke-tested without running the (slow) real suite — that runs in
     the perf CI step via benchmarks/perf/test_bench_smoke.py."""
     from repro.harness.perf import (BenchResult, HEADLINE,
                                     batch16_headline_speedup,
+                                    batching_goodput_ratio,
                                     compiled_headline_speedup,
                                     headline_speedup)
     kind, hidden, cfg = HEADLINE
@@ -103,13 +105,18 @@ def _stub_bench_payload(compiled_ms=1.0, batch16_ms=0.5):
         BenchResult(name=f"batched_{kind}_h{hidden}_b16", config=cfg,
                     unit_ms=batch16_ms, units=64, repeats=3,
                     naive_unit_ms=2.0),
+        BenchResult(name=f"batching_goodput_{kind}_h{hidden}",
+                    config=cfg, unit_ms=goodput_ms, units=600,
+                    repeats=1, naive_unit_ms=1.0),
     ]
     return {
         "benchmark": "perf", "quick": True,
         "headline": {"kind": kind, "hidden": hidden, "config": cfg,
                      "speedup": headline_speedup(rows),
                      "compiled_speedup": compiled_headline_speedup(rows),
-                     "batch16_speedup": batch16_headline_speedup(rows)},
+                     "batch16_speedup": batch16_headline_speedup(rows),
+                     "batching_goodput_ratio":
+                         batching_goodput_ratio(rows)},
         "results": [r.to_json() for r in rows],
     }
 
@@ -188,3 +195,36 @@ def test_monitor_all_writes_per_scenario_files(tmp_path, capsys):
     for name in ("overload", "partition", "rack_loss",
                  "rolling_slow"):
         assert (tmp_path / f"m-{name}.prom").exists()
+
+
+def test_serve_batch_smoke(tmp_path, capsys):
+    """End-to-end quick sweep: calibrate a real curve from batched
+    replay, sweep goodput, clear a modest floor, write artifacts."""
+    out = tmp_path / "sweep.json"
+    prom = tmp_path / "serving.prom"
+    rc = main(["serve-batch", "--quick", "--hidden", "64",
+               "--min-goodput-ratio", "1.1",
+               "--output", str(out), "--prom", str(prom)])
+    assert rc == 0
+    stdout = capsys.readouterr().out
+    assert "peak goodput" in stdout
+    payload = json.loads(out.read_text())
+    assert payload["goodput_ratio"] >= 1.1
+    assert payload["workload"]["kind"] == "lstm"
+    assert payload["curve"]["batches"][0] == 1
+    text = prom.read_text()
+    assert "repro_serving_batch_occupancy" in text
+    assert "repro_serving_dispatches_total" in text
+
+
+def test_serve_batch_gate_violation_exits_nonzero(monkeypatch, capsys):
+    import repro.system.batching as batching
+    # A perfectly serial curve: batching buys nothing, so any floor
+    # above ~1x trips the gate without a slow calibration pass.
+    serial = batching.ServiceTimeCurve((1, 2), (1e-3, 2e-3))
+    monkeypatch.setattr(batching, "calibrate_batch_curve",
+                        lambda *a, **k: serial)
+    rc = main(["serve-batch", "--quick", "--hidden", "64",
+               "--min-goodput-ratio", "2.0"])
+    assert rc == 1
+    assert "FAIL" in capsys.readouterr().err

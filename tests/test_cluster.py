@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ReproError
+from repro.system.batching import ServiceTimeCurve
 from repro.system.cluster import (
     BROWNOUT,
     FAILED,
@@ -19,11 +20,13 @@ from repro.system.cluster import (
     SHED_ADMISSION,
     SHED_DEADLINE,
     TIMEOUT,
+    AutoscalePolicy,
     BrownoutPolicy,
     ClusterError,
     ClusterEvent,
     ClusterSimulator,
     ClusterSpec,
+    NodeBatching,
     PhiAccrualDetector,
     TokenBucket,
 )
@@ -362,3 +365,120 @@ class TestResultRendering:
         assert set(counts) == {"served", "brownout", "shed_admission",
                                "shed_deadline", "failed", "timeout"}
         assert sum(counts.values()) == res.total
+
+
+# A strongly sublinear measured shape for batched-node tests.
+_BCURVE = ServiceTimeCurve((1, 2, 4, 8, 16),
+                           (1e-3, 1.1e-3, 1.3e-3, 1.7e-3, 2.5e-3))
+
+
+def _batching(**kw):
+    defaults = dict(curve=_BCURVE, max_batch=16, timeout_s=1e-3)
+    defaults.update(kw)
+    return NodeBatching(**defaults)
+
+
+class TestBatchedClusterValidation:
+    @pytest.mark.parametrize("kw", [
+        dict(curve=3.0),
+        dict(max_batch=0),
+        dict(timeout_s=-1e-3),
+        dict(curve=lambda b: 0.0),
+    ])
+    def test_node_batching_validation(self, kw):
+        with pytest.raises(ClusterError):
+            _batching(**kw)
+
+    @pytest.mark.parametrize("kw", [
+        dict(min_nodes=0),
+        dict(min_nodes=4, max_nodes=2),
+        dict(target_utilization=0.0),
+        dict(target_utilization=1.5),
+        dict(interval_s=0.0),
+    ])
+    def test_autoscale_policy_validation(self, kw):
+        with pytest.raises(ClusterError):
+            AutoscalePolicy(**kw)
+
+    def test_autoscaler_requires_batching(self):
+        with pytest.raises(ClusterError):
+            ClusterSimulator(_spec(), autoscaler=AutoscalePolicy())
+
+    @pytest.mark.parametrize("kw", [
+        dict(admission=TokenBucket(rate_rps=100.0)),
+        dict(brownout=BrownoutPolicy()),
+    ])
+    def test_batching_rejects_unbatched_mitigations(self, kw):
+        with pytest.raises(ClusterError):
+            ClusterSimulator(_spec(), batching=_batching(), **kw)
+
+
+class TestBatchedCluster:
+    def test_sparse_load_all_served_batch1(self):
+        """With no queueing pressure every dispatch is a singleton and
+        the batched plane reduces to the unbatched one."""
+        sim = ClusterSimulator(_spec(), batching=_batching(), seed=3)
+        res = sim.run(_sparse_arrivals())
+        assert res.availability == 1.0
+        assert res.count(SERVED) == res.total
+        assert res.batch_log is not None
+        assert all(b == 1 for _, b in res.batch_log)
+        assert res.mean_batch == 1.0
+
+    def test_overload_coalesces_into_batches(self):
+        """Arrivals faster than per-node batch-1 capacity force real
+        batch formation; the measured curve keeps the cluster serving
+        what a serial plane would drop."""
+        spec = _spec(deadline_s=0.1)
+        rate = 8000.0  # 2x the 4-node batch-1 capacity
+        arrivals = np.arange(4000) / rate
+        sim = ClusterSimulator(spec, batching=_batching(), seed=0)
+        res = sim.run(arrivals)
+        assert res.mean_batch > 2.0
+        assert sum(b for _, b in res.batch_log) == res.count(SERVED) \
+            + res.count(TIMEOUT)
+        assert res.availability > 0.9
+        assert "batching:" in res.render()
+
+    def test_batched_run_is_seed_deterministic(self):
+        runs = []
+        for _ in range(2):
+            sim = ClusterSimulator(_spec(), batching=_batching(),
+                                   seed=11)
+            runs.append(sim.run(np.arange(3000) * 2e-4))
+        a, b = runs
+        assert np.array_equal(a.status, b.status)
+        assert np.array_equal(a.latency_s, b.latency_s,
+                              equal_nan=True)
+        assert a.batch_log == b.batch_log
+
+    def test_crash_fails_queued_and_inflight_work(self):
+        sim = ClusterSimulator(_spec(), batching=_batching(),
+                               detector_threshold=None, retries=0,
+                               router="random", seed=1)
+        events = [ClusterEvent(0.0, "rack_down", 0)]
+        res = sim.run(_sparse_arrivals(200), events)
+        assert res.failed > 0.3 * res.total
+
+    def test_autoscaler_tracks_load(self):
+        """One node handles the warmup trickle; the burst pulls the
+        active set up, and the trace records every resize."""
+        spec = _spec(racks=2, nodes_per_rack=4, deadline_s=0.2)
+        burst = np.concatenate([np.arange(100) * 2e-3,          # 500/s
+                                0.2 + np.arange(4000) / 2e4])   # 20k/s
+        sim = ClusterSimulator(
+            spec, batching=_batching(),
+            autoscaler=AutoscalePolicy(min_nodes=1, interval_s=0.1),
+            seed=0)
+        res = sim.run(burst)
+        assert res.active_nodes_trace is not None
+        assert res.active_nodes_trace[0][1] == 1
+        assert max(n for _, n in res.active_nodes_trace) > 1
+        assert "autoscaler:" in res.render()
+
+    def test_unbatched_result_has_no_batch_fields(self):
+        res = ClusterSimulator(_spec(), seed=0).run(
+            _sparse_arrivals(10))
+        assert res.batch_log is None
+        assert res.active_nodes_trace is None
+        assert math.isnan(res.mean_batch)
